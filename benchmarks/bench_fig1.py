@@ -1,0 +1,66 @@
+"""E2 — Fig. 1: the four mapping-scheme panels.
+
+Renders Fig. 1a-1d for a figure-scale device (2 banks, small pages) and
+checks the structural facts the figure communicates: the diagonal bank
+pattern, the page-tile column layout, and that the offset panel differs
+from the non-offset one by a circular shift.
+"""
+
+import pytest
+
+from repro.dram.geometry import Geometry
+from repro.interleaver.triangular import RectangularIndexSpace
+from repro.mapping.optimized import OptimizedMapping
+from repro.viz import render_banks, render_columns, render_figure1, render_full
+
+
+@pytest.fixture
+def fig_geometry():
+    """Two banks and a four-burst page, as in the paper's figure."""
+    return Geometry(bank_groups=2, banks_per_group=1, rows=64, columns=32,
+                    bus_width_bits=64, burst_length=8)
+
+
+@pytest.fixture
+def fig_space():
+    return RectangularIndexSpace(8, 8)
+
+
+@pytest.mark.paper_artifact("Fig. 1")
+def test_fig1_panels_render(benchmark, fig_geometry, fig_space):
+    text = benchmark(render_figure1, fig_space, fig_geometry)
+    for tag in ("(a)", "(b)", "(c)", "(d)"):
+        assert tag in text
+
+
+@pytest.mark.paper_artifact("Fig. 1a")
+def test_fig1a_diagonal_banks(benchmark, fig_geometry, fig_space):
+    mapping = OptimizedMapping(fig_space, fig_geometry)
+    text = benchmark(render_banks, mapping)
+    lines = text.splitlines()
+    # Diagonal pattern: every row starts one bank later than the last.
+    assert lines[0].split()[0] == "B0"
+    assert lines[1].split()[0] == "B1"
+    assert lines[0].split()[1] == "B1"
+
+
+@pytest.mark.paper_artifact("Fig. 1b")
+def test_fig1b_page_tiles(benchmark, fig_geometry, fig_space):
+    mapping = OptimizedMapping(fig_space, fig_geometry, enable_offset=False)
+    text = benchmark(render_columns, mapping)
+    labels = {token for line in text.splitlines() for token in line.split()}
+    # A 4-burst page yields columns C0..C3.
+    assert {"C0", "C1", "C2", "C3"} <= labels
+
+
+@pytest.mark.paper_artifact("Fig. 1c vs 1d")
+def test_fig1d_offset_shifts_cells(benchmark, fig_geometry, fig_space):
+    no_offset = OptimizedMapping(fig_space, fig_geometry, enable_offset=False)
+    offset = OptimizedMapping(fig_space, fig_geometry)
+    text = benchmark(render_full, offset)
+    assert text != render_full(no_offset)
+    # Bank-0 cells are unshifted: identical labels in both panels.
+    for i in range(fig_space.height):
+        for j in range(fig_space.width):
+            if offset.bank_of(i, j) == 0:
+                assert offset.address_tuple(i, j) == no_offset.address_tuple(i, j)

@@ -1,0 +1,70 @@
+"""E1 — Table I: DRAM bandwidth utilization for all ten configurations.
+
+Regenerates every cell of the paper's Table I: (configuration) x
+(row-major | optimized) x (write | read).  The utilizations land in
+``extra_info`` of each benchmark record; the benchmark time itself
+measures the simulator.
+"""
+
+import pytest
+
+from repro.dram.controller import OP_READ, OP_WRITE
+from repro.dram.presets import TABLE1_CONFIG_NAMES, get_config
+from repro.dram.simulator import simulate_phase
+from repro.interleaver.triangular import TriangularIndexSpace
+from repro.mapping.optimized import OptimizedMapping
+from repro.mapping.row_major import RowMajorMapping
+
+#: Paper Table I values (write %, read %) for context in reports.
+PAPER_TABLE1 = {
+    ("DDR3-800", "row-major"): (95.99, 96.03),
+    ("DDR3-800", "optimized"): (95.99, 96.26),
+    ("DDR3-1600", "row-major"): (95.75, 64.16),
+    ("DDR3-1600", "optimized"): (95.91, 96.16),
+    ("DDR4-1600", "row-major"): (92.02, 73.92),
+    ("DDR4-1600", "optimized"): (92.01, 92.37),
+    ("DDR4-3200", "row-major"): (91.83, 43.50),
+    ("DDR4-3200", "optimized"): (91.86, 92.15),
+    ("DDR5-3200", "row-major"): (100.00, 96.37),
+    ("DDR5-3200", "optimized"): (100.00, 100.00),
+    ("DDR5-6400", "row-major"): (99.90, 88.95),
+    ("DDR5-6400", "optimized"): (99.83, 99.97),
+    ("LPDDR4-2133", "row-major"): (99.02, 66.00),
+    ("LPDDR4-2133", "optimized"): (99.41, 98.30),
+    ("LPDDR4-4266", "row-major"): (98.03, 35.77),
+    ("LPDDR4-4266", "optimized"): (99.67, 99.72),
+    ("LPDDR5-4267", "row-major"): (99.39, 55.87),
+    ("LPDDR5-4267", "optimized"): (99.77, 100.00),
+    ("LPDDR5-8533", "row-major"): (97.56, 47.25),
+    ("LPDDR5-8533", "optimized"): (99.14, 99.66),
+}
+
+
+def _mapping(name, space, geometry):
+    if name == "row-major":
+        return RowMajorMapping(space, geometry)
+    return OptimizedMapping(space, geometry, prefer_tall=False)
+
+
+@pytest.mark.paper_artifact("Table I")
+@pytest.mark.parametrize("config_name", TABLE1_CONFIG_NAMES)
+@pytest.mark.parametrize("mapping_name", ["row-major", "optimized"])
+@pytest.mark.parametrize("op", [OP_WRITE, OP_READ])
+def test_table1_cell(benchmark, config_name, mapping_name, op, bench_triangle_n):
+    config = get_config(config_name)
+    space = TriangularIndexSpace(bench_triangle_n)
+    mapping = _mapping(mapping_name, space, config.geometry)
+
+    stats = benchmark.pedantic(
+        simulate_phase,
+        args=(config, mapping, op),
+        rounds=1,
+        iterations=1,
+    )
+
+    paper_write, paper_read = PAPER_TABLE1[(config_name, mapping_name)]
+    benchmark.extra_info["utilization_pct"] = round(stats.utilization * 100, 2)
+    benchmark.extra_info["paper_pct"] = paper_write if op == OP_WRITE else paper_read
+    benchmark.extra_info["page_hit_rate"] = round(stats.hit_rate, 3)
+    benchmark.extra_info["requests"] = stats.requests
+    assert 0.0 < stats.utilization <= 1.0

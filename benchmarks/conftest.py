@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate the paper's artifacts, so each records its
+scientific output (utilizations, gains) in ``benchmark.extra_info`` —
+``pytest benchmarks/ --benchmark-only`` both times the harness and
+reports the reproduced numbers.
+
+Simulations are deterministic; heavy ones run as a single round via
+``benchmark.pedantic`` so the suite stays in minutes.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_artifact(name): benchmark regenerating a paper table/figure"
+    )
+
+
+@pytest.fixture
+def bench_triangle_n():
+    """Default interleaver size for benchmarks.
+
+    N=256 (~33 k bursts per phase) keeps the full grid under a few
+    minutes; the standalone ``run_table1.py`` script regenerates the
+    table at N=1024+ for the EXPERIMENTS.md numbers.
+    """
+    return 256

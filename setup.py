@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e . --no-build-isolation`` works on
+environments whose setuptools predates bundled ``bdist_wheel``
+(offline boxes without the ``wheel`` package).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

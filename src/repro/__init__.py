@@ -1,0 +1,102 @@
+"""repro — triangular block interleavers on DRAM for optical satellite links.
+
+Reproduction of *"A Mapping of Triangular Block Interleavers to DRAM
+for Optical Satellite Communication"* (DATE 2024): an event-driven
+JEDEC DRAM channel simulator, the paper's optimized address mapping
+(diagonal bank rotation + rectangular page tiling + bank-staggered
+offset), the row-major baseline, the two-stage interleaver data path,
+and the optical-downlink system context.
+
+Quickstart::
+
+    from repro import (TriangularIndexSpace, OptimizedMapping,
+                       get_config, simulate_interleaver)
+
+    config = get_config("DDR4-3200")
+    space = TriangularIndexSpace(512)
+    mapping = OptimizedMapping(space, config.geometry)
+    result = simulate_interleaver(config, mapping)
+    print(result.write_utilization, result.read_utilization)
+"""
+
+from repro.channel import (
+    CodewordConfig,
+    GilbertElliottChannel,
+    GilbertElliottParams,
+    coherence_params,
+)
+from repro.dram import (
+    ControllerConfig,
+    DramAddress,
+    DramConfig,
+    Geometry,
+    InterleaverSimResult,
+    MemoryController,
+    PhaseStats,
+    TABLE1_CONFIG_NAMES,
+    TimingParams,
+    all_configs,
+    get_config,
+    simulate_interleaver,
+    simulate_phase,
+)
+from repro.interleaver import (
+    RectangularIndexSpace,
+    TriangularIndexSpace,
+    triangle_size_for_elements,
+)
+from repro.interleaver.block import BlockInterleaver, TriangularInterleaver
+from repro.interleaver.two_stage import TwoStageConfig, TwoStageInterleaver
+from repro.mapping import (
+    InterleaverMapping,
+    OptimizedMapping,
+    RowMajorMapping,
+    profile_mapping,
+    validate_mapping,
+)
+from repro.system import (
+    OpticalDownlink,
+    format_table1,
+    provision,
+    run_table1,
+    throughput_report,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockInterleaver",
+    "CodewordConfig",
+    "ControllerConfig",
+    "DramAddress",
+    "DramConfig",
+    "Geometry",
+    "GilbertElliottChannel",
+    "GilbertElliottParams",
+    "InterleaverMapping",
+    "InterleaverSimResult",
+    "MemoryController",
+    "OpticalDownlink",
+    "OptimizedMapping",
+    "PhaseStats",
+    "RectangularIndexSpace",
+    "RowMajorMapping",
+    "TABLE1_CONFIG_NAMES",
+    "TimingParams",
+    "TriangularIndexSpace",
+    "TriangularInterleaver",
+    "TwoStageConfig",
+    "TwoStageInterleaver",
+    "all_configs",
+    "coherence_params",
+    "format_table1",
+    "get_config",
+    "profile_mapping",
+    "provision",
+    "run_table1",
+    "simulate_interleaver",
+    "simulate_phase",
+    "throughput_report",
+    "triangle_size_for_elements",
+    "validate_mapping",
+]

@@ -1,0 +1,43 @@
+"""Optical LEO downlink channel models (burst errors, FEC framing)."""
+
+from repro.channel.burst_stats import (
+    BurstProfile,
+    burst_profile,
+    codeword_failure_rate,
+    dispersion_gain,
+    errors_per_codeword,
+    run_length_histogram,
+    worst_window_errors,
+)
+from repro.channel.codeword import (
+    CodewordConfig,
+    DecodingReport,
+    decode_mask,
+    random_burst_tolerance,
+)
+from repro.channel.gilbert_elliott import (
+    BAD,
+    GOOD,
+    GilbertElliottChannel,
+    GilbertElliottParams,
+    coherence_params,
+)
+
+__all__ = [
+    "BAD",
+    "BurstProfile",
+    "CodewordConfig",
+    "DecodingReport",
+    "GOOD",
+    "GilbertElliottChannel",
+    "GilbertElliottParams",
+    "burst_profile",
+    "codeword_failure_rate",
+    "coherence_params",
+    "decode_mask",
+    "dispersion_gain",
+    "errors_per_codeword",
+    "random_burst_tolerance",
+    "run_length_histogram",
+    "worst_window_errors",
+]

@@ -1,0 +1,104 @@
+"""Code-word framing and a t-error-correcting block-code model.
+
+The downlink FEC is modeled at the symbol-error level: a code word of
+``n`` symbols decodes correctly iff it contains at most ``t`` corrupted
+symbols (the behavior of a bounded-distance decoder such as
+Reed–Solomon).  This is all the paper's system context requires — the
+interleaver's job is to keep the per-code-word error count under ``t``
+in the presence of long fades, and the DRAM mapping's job is to make
+that interleaver fast enough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.burst_stats import errors_per_codeword
+
+
+@dataclass(frozen=True)
+class CodewordConfig:
+    """Block-code parameters at symbol granularity.
+
+    Attributes:
+        n_symbols: code word length in symbols.
+        t_correctable: maximum number of symbol errors the decoder
+            corrects.
+    """
+
+    n_symbols: int
+    t_correctable: int
+
+    def __post_init__(self) -> None:
+        if self.n_symbols < 1:
+            raise ValueError(f"n_symbols must be >= 1, got {self.n_symbols}")
+        if not 0 <= self.t_correctable < self.n_symbols:
+            raise ValueError(
+                f"t_correctable must be in [0, {self.n_symbols}), got {self.t_correctable}"
+            )
+
+    @property
+    def correction_fraction(self) -> float:
+        """Fraction of a code word the decoder can repair."""
+        return self.t_correctable / self.n_symbols
+
+
+@dataclass(frozen=True)
+class DecodingReport:
+    """Outcome of decoding a stream against an error mask.
+
+    Attributes:
+        codewords: full code words decoded.
+        failed: code words with more than ``t`` errors.
+        corrected_symbols: symbol errors removed by the decoder.
+        residual_symbol_errors: symbol errors left in failed words.
+    """
+
+    codewords: int
+    failed: int
+    corrected_symbols: int
+    residual_symbol_errors: int
+
+    @property
+    def codeword_error_rate(self) -> float:
+        if self.codewords == 0:
+            return 0.0
+        return self.failed / self.codewords
+
+    @property
+    def frame_ok(self) -> bool:
+        return self.failed == 0
+
+
+def decode_mask(mask: np.ndarray, config: CodewordConfig) -> DecodingReport:
+    """Decode an error mask: which code words survive?
+
+    Args:
+        mask: boolean symbol-error mask in *code word order* (i.e.
+            after deinterleaving at the receiver).
+        config: code parameters.
+    """
+    counts = errors_per_codeword(mask, config.n_symbols)
+    failed = counts > config.t_correctable
+    corrected = int(counts[~failed].sum())
+    residual = int(counts[failed].sum())
+    return DecodingReport(
+        codewords=int(counts.size),
+        failed=int(failed.sum()),
+        corrected_symbols=corrected,
+        residual_symbol_errors=residual,
+    )
+
+
+def random_burst_tolerance(config: CodewordConfig, interleaver_depth: int) -> int:
+    """Longest channel burst a perfect depth-``d`` interleaver absorbs.
+
+    A burst of ``L`` consecutive channel symbols lands at most
+    ``ceil(L / d)`` errors in any one code word after deinterleaving
+    with depth ``d``; the decoder survives while that stays <= ``t``.
+    """
+    if interleaver_depth < 1:
+        raise ValueError(f"interleaver_depth must be >= 1, got {interleaver_depth}")
+    return config.t_correctable * interleaver_depth

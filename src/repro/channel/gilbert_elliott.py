@@ -1,0 +1,163 @@
+"""Gilbert–Elliott burst-error channel.
+
+Free-space optical downlinks from LEO satellites suffer long error
+bursts: atmospheric scintillation fades the received power for spans
+on the order of the channel coherence time (> 2 ms, i.e. hundreds of
+kilobits at 100 Gbit/s).  The standard tractable model for such a
+channel is the two-state Gilbert–Elliott Markov chain:
+
+* **good** state: symbols are hit independently with probability
+  ``p_good`` (near zero);
+* **bad** state (deep fade): symbols are hit with probability
+  ``p_bad`` (large);
+* per-symbol transition probabilities ``p_g2b`` and ``p_b2g`` set the
+  expected fade spacing (``1/p_g2b``) and fade duration (``1/p_b2g``).
+
+The chain's stationary bad-state probability and average symbol error
+rate are exposed in closed form for test cross-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+GOOD = 0
+BAD = 1
+
+
+@dataclass(frozen=True)
+class GilbertElliottParams:
+    """Channel parameters.
+
+    Attributes:
+        p_g2b: per-symbol probability of entering a fade.
+        p_b2g: per-symbol probability of leaving a fade (mean fade
+            length is ``1 / p_b2g`` symbols).
+        p_bad: symbol error probability inside a fade.
+        p_good: symbol error probability outside fades.
+    """
+
+    p_g2b: float
+    p_b2g: float
+    p_bad: float = 0.5
+    p_good: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("p_g2b", "p_b2g"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        for name in ("p_bad", "p_good"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    @property
+    def stationary_bad(self) -> float:
+        """Stationary probability of the bad state."""
+        return self.p_g2b / (self.p_g2b + self.p_b2g)
+
+    @property
+    def mean_fade_symbols(self) -> float:
+        """Expected fade duration in symbols."""
+        return 1.0 / self.p_b2g
+
+    @property
+    def mean_gap_symbols(self) -> float:
+        """Expected good-state run length in symbols."""
+        return 1.0 / self.p_g2b
+
+    @property
+    def average_symbol_error_rate(self) -> float:
+        """Long-run symbol error probability."""
+        bad = self.stationary_bad
+        return bad * self.p_bad + (1.0 - bad) * self.p_good
+
+
+def coherence_params(
+    symbols_per_coherence_time: float,
+    fade_fraction: float,
+    p_bad: float = 0.5,
+    p_good: float = 0.0,
+) -> GilbertElliottParams:
+    """Derive chain parameters from physical link numbers.
+
+    Args:
+        symbols_per_coherence_time: mean fade duration in symbols
+            (channel coherence time x symbol rate; the paper quotes
+            > 2 ms coherence at > 100 Gbit/s).
+        fade_fraction: long-run fraction of time spent in a fade.
+        p_bad: symbol error probability inside fades.
+        p_good: symbol error probability outside fades.
+    """
+    if symbols_per_coherence_time <= 1.0:
+        raise ValueError("coherence time must exceed one symbol")
+    if not 0.0 < fade_fraction < 1.0:
+        raise ValueError(f"fade_fraction must be in (0, 1), got {fade_fraction}")
+    p_b2g = 1.0 / symbols_per_coherence_time
+    # stationary_bad = p_g2b / (p_g2b + p_b2g) = fade_fraction
+    p_g2b = fade_fraction * p_b2g / (1.0 - fade_fraction)
+    return GilbertElliottParams(p_g2b=p_g2b, p_b2g=p_b2g, p_bad=p_bad, p_good=p_good)
+
+
+class GilbertElliottChannel:
+    """Samples error masks from the Gilbert–Elliott chain.
+
+    The state sequence is generated vectorized: state dwell times are
+    geometric, so the chain is simulated as alternating geometric run
+    lengths rather than per-symbol coin flips.
+    """
+
+    def __init__(self, params: GilbertElliottParams,
+                 rng: Optional[np.random.Generator] = None):
+        self.params = params
+        self.rng = rng or np.random.default_rng()
+        self._state = BAD if self.rng.random() < params.stationary_bad else GOOD
+
+    def state_mask(self, count: int) -> np.ndarray:
+        """Boolean array: ``True`` where the channel is in a fade."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        params = self.params
+        rng = self.rng
+        mask = np.empty(count, dtype=bool)
+        position = 0
+        state = self._state
+        while position < count:
+            p_leave = params.p_b2g if state == BAD else params.p_g2b
+            run = rng.geometric(p_leave)
+            end = min(position + run, count)
+            mask[position:end] = state == BAD
+            if position + run > count:
+                # Dwell continues into the next call.
+                break
+            position = end
+            state = BAD if state == GOOD else GOOD
+        self._state = state
+        return mask
+
+    def error_mask(self, count: int) -> np.ndarray:
+        """Boolean array: ``True`` where a symbol is corrupted."""
+        params = self.params
+        fades = self.state_mask(count)
+        draws = self.rng.random(count)
+        probabilities = np.where(fades, params.p_bad, params.p_good)
+        return draws < probabilities
+
+    def corrupt(self, symbols: np.ndarray, bits_per_symbol: int = 3) -> np.ndarray:
+        """Apply the channel to a symbol stream.
+
+        Corrupted symbols are XOR-flipped with a uniformly random
+        non-zero pattern, guaranteeing the symbol value changes.
+        """
+        if bits_per_symbol < 1:
+            raise ValueError(f"bits_per_symbol must be >= 1, got {bits_per_symbol}")
+        mask = self.error_mask(symbols.size)
+        flips = self.rng.integers(1, 1 << bits_per_symbol, size=symbols.size,
+                                  dtype=symbols.dtype if symbols.dtype.kind == "u" else np.uint16)
+        corrupted = symbols.copy()
+        corrupted[mask] ^= flips[mask]
+        return corrupted

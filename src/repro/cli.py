@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table1``    — regenerate the paper's Table I (any subset of configs)
+* ``fig1``      — render the Fig. 1 mapping panels as text
+* ``downlink``  — run the optical-downlink reliability comparison
+* ``provision`` — size a DRAM system for a target line rate
+* ``configs``   — list the built-in device configurations
+
+Every command prints plain text and exits non-zero on bad arguments, so
+the CLI is scriptable from shell pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.channel.codeword import CodewordConfig
+from repro.channel.gilbert_elliott import GilbertElliottParams
+from repro.dram.controller import ControllerConfig
+from repro.dram.presets import TABLE1_CONFIG_NAMES, all_configs, get_config
+from repro.dram.simulator import simulate_interleaver
+from repro.interleaver.triangular import RectangularIndexSpace, TriangularIndexSpace
+from repro.interleaver.two_stage import TwoStageConfig
+from repro.mapping.optimized import OptimizedMapping
+from repro.mapping.row_major import RowMajorMapping
+from repro.system.downlink import OpticalDownlink
+from repro.system.sweep import format_table1, run_table1
+from repro.system.throughput import provision, throughput_report
+from repro.units import gbit_per_s
+from repro.viz import render_figure1
+
+
+def _add_table1(subparsers) -> None:
+    parser = subparsers.add_parser("table1", help="regenerate Table I")
+    parser.add_argument("--n", type=int, default=256,
+                        help="triangle dimension (default 256)")
+    parser.add_argument("--no-refresh", action="store_true",
+                        help="disable refresh (the paper's >99%% experiment)")
+    parser.add_argument("--configs", nargs="*", metavar="NAME",
+                        help="subset of configurations (default: all ten)")
+    parser.set_defaults(func=_cmd_table1)
+
+
+def _cmd_table1(args) -> int:
+    names = tuple(args.configs) if args.configs else TABLE1_CONFIG_NAMES
+    unknown = set(names) - set(TABLE1_CONFIG_NAMES)
+    if unknown:
+        print(f"error: unknown configurations {sorted(unknown)}", file=sys.stderr)
+        return 2
+    policy = ControllerConfig(refresh_enabled=not args.no_refresh)
+    rows = run_table1(n=args.n, config_names=names, policy=policy)
+    print(format_table1(rows))
+    return 0
+
+
+def _add_fig1(subparsers) -> None:
+    parser = subparsers.add_parser("fig1", help="render the Fig. 1 panels")
+    parser.add_argument("--size", type=int, default=8,
+                        help="index-space excerpt size (default 8)")
+    parser.add_argument("--config", default=None,
+                        help="use a real device geometry instead of the "
+                             "2-bank figure-scale one")
+    parser.set_defaults(func=_cmd_fig1)
+
+
+def _cmd_fig1(args) -> int:
+    if args.config:
+        try:
+            geometry = get_config(args.config).geometry
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    else:
+        from repro.dram.geometry import Geometry
+        geometry = Geometry(bank_groups=2, banks_per_group=1, rows=256,
+                            columns=32, bus_width_bits=64, burst_length=8)
+    space = RectangularIndexSpace(args.size, args.size)
+    print(render_figure1(space, geometry))
+    return 0
+
+
+def _add_downlink(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "downlink", help="optical-downlink reliability with/without interleaving")
+    parser.add_argument("--frames", type=int, default=40)
+    parser.add_argument("--triangle-n", type=int, default=48)
+    parser.add_argument("--fade-symbols", type=float, default=60.0,
+                        help="mean fade length in symbols")
+    parser.add_argument("--fade-fraction", type=float, default=0.004)
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.set_defaults(func=_cmd_downlink)
+
+
+def _cmd_downlink(args) -> int:
+    if args.fade_symbols <= 1 or not 0 < args.fade_fraction < 1:
+        print("error: fade-symbols must be >1 and fade-fraction in (0,1)",
+              file=sys.stderr)
+        return 2
+    downlink = OpticalDownlink(
+        TwoStageConfig(triangle_n=args.triangle_n, symbols_per_element=4,
+                       codeword_symbols=24),
+        CodewordConfig(n_symbols=24, t_correctable=2),
+        GilbertElliottParams(
+            p_g2b=args.fade_fraction / (1 - args.fade_fraction) / args.fade_symbols,
+            p_b2g=1.0 / args.fade_symbols,
+            p_bad=0.7,
+        ),
+        rng=np.random.default_rng(args.seed),
+    )
+    result = downlink.run(args.frames)
+    print(f"channel errors: {result.channel_profile.error_symbols} "
+          f"(longest burst {result.channel_profile.max_burst})")
+    print(f"code-word failures without interleaver: {result.baseline.failed}"
+          f" / {result.baseline.codewords}")
+    print(f"code-word failures with    interleaver: {result.interleaved.failed}"
+          f" / {result.interleaved.codewords}")
+    gain = result.gain
+    print(f"gain: {'inf' if gain == float('inf') else f'{gain:.1f}x'}")
+    return 0
+
+
+def _add_provision(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "provision", help="size a DRAM system for a target line rate")
+    parser.add_argument("--target-gbit", type=float, default=100.0)
+    parser.add_argument("--n", type=int, default=256)
+    parser.add_argument("--configs", nargs="*", metavar="NAME")
+    parser.set_defaults(func=_cmd_provision)
+
+
+def _cmd_provision(args) -> int:
+    if args.target_gbit <= 0:
+        print("error: target-gbit must be positive", file=sys.stderr)
+        return 2
+    names = tuple(args.configs) if args.configs else TABLE1_CONFIG_NAMES
+    unknown = set(names) - set(TABLE1_CONFIG_NAMES)
+    if unknown:
+        print(f"error: unknown configurations {sorted(unknown)}", file=sys.stderr)
+        return 2
+    space = TriangularIndexSpace(args.n)
+    reports = []
+    for name in names:
+        config = get_config(name)
+        for mapping in (RowMajorMapping(space, config.geometry),
+                        OptimizedMapping(space, config.geometry, prefer_tall=False)):
+            reports.append(
+                throughput_report(config, simulate_interleaver(config, mapping)))
+    choices = provision(reports, args.target_gbit)
+    print(f"{'rank':4s} {'configuration':14s} {'mapping':10s} "
+          f"{'channels':>8s} {'raw Gbit/s':>11s} {'oversizing':>11s}")
+    for rank, choice in enumerate(choices, start=1):
+        report = choice.report
+        print(f"{rank:4d} {report.config_name:14s} {report.mapping_name:10s} "
+              f"{choice.channels:8d} {choice.total_peak_gbit:11.0f} "
+              f"{choice.oversizing_factor:10.2f}x")
+    return 0
+
+
+def _add_configs(subparsers) -> None:
+    parser = subparsers.add_parser("configs", help="list device configurations")
+    parser.set_defaults(func=_cmd_configs)
+
+
+def _cmd_configs(_args) -> int:
+    print(f"{'name':14s} {'banks':>5s} {'groups':>6s} {'page':>6s} "
+          f"{'burst':>6s} {'peak':>11s} {'refresh':>9s}")
+    for config in all_configs():
+        geometry = config.geometry
+        print(f"{config.name:14s} {geometry.banks:5d} {geometry.bank_groups:6d} "
+              f"{geometry.row_bytes // 1024:5d}K {geometry.burst_bytes:5d}B "
+              f"{gbit_per_s(config.peak_bandwidth_bytes_per_s):8.1f}Gb/s "
+              f"{config.refresh_mode:>9s}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Triangular block interleavers on DRAM (DATE 2024 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_table1(subparsers)
+    _add_fig1(subparsers)
+    _add_downlink(subparsers)
+    _add_provision(subparsers)
+    _add_configs(subparsers)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

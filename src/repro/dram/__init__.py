@@ -1,0 +1,96 @@
+"""Cycle-accurate-equivalent DRAM channel model (DRAMSys substitute).
+
+Public surface:
+
+* :class:`~repro.dram.presets.DramConfig` and
+  :func:`~repro.dram.presets.get_config` /
+  :func:`~repro.dram.presets.all_configs` — the ten Table I devices;
+* :class:`~repro.dram.controller.MemoryController` /
+  :class:`~repro.dram.controller.ControllerConfig` — the scheduler;
+* :func:`~repro.dram.simulator.simulate_interleaver` — one-call
+  write+read phase simulation;
+* :class:`~repro.dram.address.DramAddress`,
+  :class:`~repro.dram.address.LinearDecoder` — addressing;
+* :class:`~repro.dram.stats.PhaseStats` — results.
+"""
+
+from repro.dram.address import DramAddress, LinearDecoder
+from repro.dram.commands import CommandType, ScheduledCommand
+from repro.dram.energy import (
+    EnergyParams,
+    EnergyReport,
+    energy_params_for,
+    interleaver_energy,
+    phase_energy,
+)
+from repro.dram.controller import (
+    OP_READ,
+    OP_WRITE,
+    ControllerConfig,
+    MemoryController,
+    PhaseResult,
+)
+from repro.dram.geometry import Geometry
+from repro.dram.presets import (
+    REFRESH_ALL_BANK,
+    REFRESH_PER_BANK,
+    TABLE1_CONFIG_NAMES,
+    DramConfig,
+    all_configs,
+    get_config,
+)
+from repro.dram.mixed import (
+    MixedResult,
+    RowShiftedMapping,
+    interleaved_stream,
+    run_mixed_phase,
+    steady_state_interleaver,
+)
+from repro.dram.refresh import RefreshEvent, RefreshScheduler
+from repro.dram.simulator import InterleaverSimResult, simulate_interleaver, simulate_phase
+from repro.dram.stats import PhaseStats, min_phase_utilization
+from repro.dram.timing import TimingParams, from_datasheet
+from repro.dram.trace import TraceChecker, Violation, check_phase_commands, read_trace, write_trace
+
+__all__ = [
+    "CommandType",
+    "ControllerConfig",
+    "DramAddress",
+    "DramConfig",
+    "EnergyParams",
+    "EnergyReport",
+    "Geometry",
+    "InterleaverSimResult",
+    "LinearDecoder",
+    "MemoryController",
+    "MixedResult",
+    "OP_READ",
+    "OP_WRITE",
+    "PhaseResult",
+    "PhaseStats",
+    "REFRESH_ALL_BANK",
+    "REFRESH_PER_BANK",
+    "RefreshEvent",
+    "RefreshScheduler",
+    "RowShiftedMapping",
+    "ScheduledCommand",
+    "TABLE1_CONFIG_NAMES",
+    "TimingParams",
+    "TraceChecker",
+    "Violation",
+    "all_configs",
+    "check_phase_commands",
+    "energy_params_for",
+    "interleaved_stream",
+    "interleaver_energy",
+    "from_datasheet",
+    "get_config",
+    "min_phase_utilization",
+    "phase_energy",
+    "simulate_interleaver",
+    "read_trace",
+    "run_mixed_phase",
+    "steady_state_interleaver",
+    "simulate_phase",
+    "write_trace",
+]

@@ -1,0 +1,143 @@
+"""DRAM addresses and linear-address bit-field decoders.
+
+Two address notions coexist:
+
+* :class:`DramAddress` — the physical triple the controller needs:
+  flat bank index, row, burst-granular column.
+* *linear burst index* — position of a burst in the flat byte address
+  space, used by the row-major baseline mapping.
+
+The decoders implement the DRAMSys-style configurable bit-field split
+of a linear address into (bank group, bank, row, column) fields.  A
+scheme is written as a string of field tokens from most- to
+least-significant, e.g. ``"Ro Ba Co Bg"``:
+
+``Ro`` row bits, ``Ba`` bank-in-group bits, ``Bg`` bank-group bits,
+``Co`` column (burst index within the page) bits.
+
+The default scheme used by the row-major baseline in this project is
+``"Ro Ba Co Bg"`` — bank-group bits lowest so that a sequential stream
+alternates bank groups on every burst (tCCD_S instead of tCCD_L), then
+column bits, then bank-in-group, then row.  This mirrors the bank-group
+interleaving default of production controllers and of DRAMSys; without
+it the baseline's *write* phase would already collapse on DDR4/DDR5,
+which is neither what the paper reports nor how real controllers
+behave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.dram.geometry import Geometry
+
+
+@dataclass(frozen=True, order=True)
+class DramAddress:
+    """Physical (bank, row, column) triple at burst granularity.
+
+    ``bank`` is the flat bank index whose *low* bits select the bank
+    group, per the convention in Section II of the paper; ``column`` is
+    the index of the burst within the row (not the JEDEC column address,
+    which additionally carries the burst-internal offset).
+    """
+
+    bank: int
+    row: int
+    column: int
+
+    def validate(self, geometry: Geometry) -> "DramAddress":
+        """Raise :class:`ValueError` unless the address fits the geometry."""
+        if not 0 <= self.bank < geometry.banks:
+            raise ValueError(f"bank {self.bank} out of range [0, {geometry.banks})")
+        if not 0 <= self.row < geometry.rows:
+            raise ValueError(f"row {self.row} out of range [0, {geometry.rows})")
+        if not 0 <= self.column < geometry.bursts_per_row:
+            raise ValueError(
+                f"column {self.column} out of range [0, {geometry.bursts_per_row})"
+            )
+        return self
+
+
+#: Field tokens accepted in decoder scheme strings.
+_FIELD_TOKENS = ("Ro", "Ba", "Bg", "Co")
+
+#: Scheme used by the row-major baseline: bank-group interleaved low.
+DEFAULT_SCHEME = "Ro Ba Co Bg"
+
+#: Classic SRAM-like scheme with no bank interleaving below the page.
+PAGE_CONTIGUOUS_SCHEME = "Ro Ba Bg Co"
+
+#: Bank-interleaved-low scheme (cache-line interleaving across all banks).
+BANK_LOW_SCHEME = "Ro Co Ba Bg"
+
+
+class LinearDecoder:
+    """Splits a linear burst index into a :class:`DramAddress`.
+
+    Args:
+        geometry: the channel organization that defines field widths.
+        scheme: field order from most- to least-significant bit.  Every
+            one of ``Ro``/``Ba``/``Bg``/``Co`` must appear exactly once;
+            ``Bg`` is accepted (and ignored) for geometries without bank
+            groups so one scheme string works across standards.
+    """
+
+    def __init__(self, geometry: Geometry, scheme: str = DEFAULT_SCHEME):
+        self.geometry = geometry
+        self.scheme = scheme
+        tokens = scheme.split()
+        if sorted(tokens) != sorted(_FIELD_TOKENS):
+            raise ValueError(
+                f"scheme must contain each of {_FIELD_TOKENS} exactly once, got {scheme!r}"
+            )
+        widths = {
+            "Ro": geometry.row_bits,
+            "Ba": geometry.bank_bits - geometry.bank_group_bits,
+            "Bg": geometry.bank_group_bits,
+            "Co": geometry.column_burst_bits,
+        }
+        # Precompute (token, shift, mask) from LSB to MSB.
+        self._fields: List[Tuple[str, int, int]] = []
+        shift = 0
+        for token in reversed(tokens):
+            width = widths[token]
+            self._fields.append((token, shift, (1 << width) - 1))
+            shift += width
+        self._total_bits = shift
+
+    @property
+    def total_bursts(self) -> int:
+        """Number of distinct burst indices the decoder covers."""
+        return 1 << self._total_bits
+
+    def decode(self, burst_index: int) -> DramAddress:
+        """Decode a linear burst index into a physical address."""
+        if not 0 <= burst_index < self.total_bursts:
+            raise ValueError(
+                f"burst index {burst_index} out of range [0, {self.total_bursts})"
+            )
+        values = {"Ro": 0, "Ba": 0, "Bg": 0, "Co": 0}
+        for token, shift, mask in self._fields:
+            values[token] = (burst_index >> shift) & mask
+        bank = values["Ba"] * self.geometry.bank_groups + values["Bg"]
+        return DramAddress(bank=bank, row=values["Ro"], column=values["Co"])
+
+    def encode(self, address: DramAddress) -> int:
+        """Inverse of :meth:`decode`."""
+        address.validate(self.geometry)
+        values = {
+            "Ro": address.row,
+            "Ba": address.bank // self.geometry.bank_groups,
+            "Bg": address.bank % self.geometry.bank_groups,
+            "Co": address.column,
+        }
+        burst_index = 0
+        for token, shift, _mask in self._fields:
+            burst_index |= values[token] << shift
+        return burst_index
+
+    def decode_many(self, burst_indices: Iterable[int]) -> List[DramAddress]:
+        """Decode a sequence of burst indices."""
+        return [self.decode(index) for index in burst_indices]

@@ -1,0 +1,54 @@
+"""Per-bank state snapshots.
+
+The controller keeps bank state in parallel lists for speed (its inner
+loop runs once per DRAM burst).  :class:`BankSnapshot` is the readable
+view of one bank used by tests, debugging tools and the trace replayer;
+:func:`classify_access` defines the page-policy outcome vocabulary used
+throughout the statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Access classification values.
+PAGE_HIT = "hit"
+PAGE_MISS = "miss"
+PAGE_EMPTY = "empty"
+
+
+@dataclass(frozen=True)
+class BankSnapshot:
+    """Immutable view of one bank's scheduler state.
+
+    Attributes:
+        bank: flat bank index.
+        open_row: currently open row, or ``None`` when precharged.
+        act_time_ps: issue time of the most recent ACT.
+        cas_allowed_ps: earliest time a CAS may issue (ACT + tRCD).
+        pre_allowed_ps: earliest time a PRE may issue (tRAS/tWR/tRTP).
+        act_allowed_ps: earliest time an ACT may issue (tRP / refresh).
+    """
+
+    bank: int
+    open_row: Optional[int]
+    act_time_ps: int
+    cas_allowed_ps: int
+    pre_allowed_ps: int
+    act_allowed_ps: int
+
+
+def classify_access(open_row: Optional[int], target_row: int) -> str:
+    """Classify an access against the current bank state.
+
+    Returns:
+        :data:`PAGE_HIT` when the target row is already open,
+        :data:`PAGE_EMPTY` when the bank is precharged, and
+        :data:`PAGE_MISS` when a different row is open.
+    """
+    if open_row is None:
+        return PAGE_EMPTY
+    if open_row == target_row:
+        return PAGE_HIT
+    return PAGE_MISS

@@ -1,0 +1,443 @@
+"""Event-driven, JEDEC-constraint-accurate memory controller.
+
+The controller consumes a stream of burst-granular requests
+(bank, row, column) belonging to one access phase (all writes or all
+reads — the interleaver alternates full phases) and schedules the DRAM
+command stream for it, honoring:
+
+* per-bank row-cycle timing (tRCD, tRP, tRAS, tWR, tRTP),
+* activate throttles across banks (tRRD_S/L, the tFAW sliding window),
+* CAS-to-CAS spacing with bank-group discrimination (tCCD_S/L),
+* data-bus occupancy (one burst at a time),
+* refresh (all-bank or per-bank, may be disabled).
+
+Architecture — the same one production controllers and DRAMSys use:
+
+* Incoming requests are distributed to **per-bank FIFOs** (total
+  occupancy bounded by ``queue_depth``).  Within a bank, requests are
+  served strictly in order.
+* Each bank machine works **eagerly**: the moment its FIFO head needs a
+  different row than the open one, the PRE/ACT pair is scheduled at the
+  earliest legal time — row cycles on one bank overlap data transfers
+  on the others, which is precisely how staggered page misses get
+  hidden.
+* A **CAS arbiter** picks, among the bank heads whose row is open, the
+  request whose column command can legally issue earliest (this keeps
+  bank groups rotating instead of clustering same-group CAS at
+  ``tCCD_L``); ties go to the oldest request.
+
+The simulator is *event-driven*: instead of ticking every clock it
+computes the earliest legal issue slot of each command directly and
+quantizes it to the command-clock grid, which matches a cycle-ticking
+simulator for this command mix but runs orders of magnitude faster in
+Python.  Command-bus slot contention (one command per clock edge) is
+the one constraint not modeled; with one CAS per burst (4+ clocks
+apart) plus at most one ACT and one PRE per CAS, the command bus never
+saturates for these workloads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Iterable, Iterator, List, Optional, Tuple
+
+from repro.dram.bank import BankSnapshot
+from repro.dram.commands import CommandType, ScheduledCommand
+from repro.dram.presets import REFRESH_ALL_BANK, DramConfig
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.stats import PhaseStats
+
+#: Operation kinds accepted by :meth:`MemoryController.run_phase`.
+OP_READ = "RD"
+OP_WRITE = "WR"
+
+_FAR_PAST = -(10**15)
+_FAR_FUTURE = 10**18
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tunable controller policy parameters.
+
+    Attributes:
+        queue_depth: total requests buffered across all per-bank FIFOs.
+            Deep queues let bank machines start row cycles earlier and
+            are what hides staggered page misses; 64 covers the longest
+            JEDEC miss chain at the fastest speed grade in this project.
+        per_bank_depth: cap on one bank's FIFO (bounds the skew between
+            banks; also what a hardware implementation would have).
+        refresh_enabled: model refresh commands (the paper's default) or
+            suppress them (legal while interleaver data lives shorter
+            than the retention period — the paper's >99 % experiment).
+        record_commands: keep the full scheduled-command list on the
+            result for inspection; costs memory, used by tests.
+    """
+
+    queue_depth: int = 64
+    per_bank_depth: int = 16
+    refresh_enabled: bool = True
+    record_commands: bool = False
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.per_bank_depth < 1:
+            raise ValueError(f"per_bank_depth must be >= 1, got {self.per_bank_depth}")
+
+
+@dataclass
+class PhaseResult:
+    """Outcome of one simulated phase."""
+
+    stats: PhaseStats
+    commands: List[ScheduledCommand] = field(default_factory=list)
+
+
+class MemoryController:
+    """Schedules one access phase against one DRAM configuration.
+
+    A fresh controller starts with all banks precharged and the refresh
+    timer at zero; create one controller per phase (the interleaver's
+    phases are milliseconds long, so cross-phase boundary effects are
+    negligible, and the paper reports the phases separately).
+    """
+
+    def __init__(self, config: DramConfig, policy: Optional[ControllerConfig] = None):
+        self.config = config
+        self.policy = policy or ControllerConfig()
+        geometry = config.geometry
+        self._banks = geometry.banks
+        self._bank_groups = geometry.bank_groups
+        # Per-bank state, parallel lists for speed.
+        self._open_row: List[Optional[int]] = [None] * self._banks
+        self._act_time = [_FAR_PAST] * self._banks
+        self._cas_allowed = [0] * self._banks
+        self._pre_allowed = [0] * self._banks
+        self._act_allowed = [0] * self._banks
+        self._refresh = RefreshScheduler(config, enabled=self.policy.refresh_enabled)
+
+    def bank_snapshot(self, bank: int) -> BankSnapshot:
+        """Readable state of one bank (testing/debugging)."""
+        return BankSnapshot(
+            bank=bank,
+            open_row=self._open_row[bank],
+            act_time_ps=self._act_time[bank],
+            cas_allowed_ps=self._cas_allowed[bank],
+            pre_allowed_ps=self._pre_allowed[bank],
+            act_allowed_ps=self._act_allowed[bank],
+        )
+
+    def run_phase(
+        self,
+        requests: Iterable[Tuple[int, int, int]],
+        op: str = OP_READ,
+    ) -> PhaseResult:
+        """Simulate one phase and return its statistics.
+
+        Args:
+            requests: iterable of ``(bank, row, column)`` triples at
+                burst granularity, in program order.
+            op: :data:`OP_READ` or :data:`OP_WRITE` for the whole phase.
+
+        Returns:
+            A :class:`PhaseResult` whose ``stats.utilization`` is the
+            data-bus utilization of the phase.
+        """
+        if op not in (OP_READ, OP_WRITE):
+            raise ValueError(f"op must be {OP_READ!r} or {OP_WRITE!r}, got {op!r}")
+
+        timing = self.config.timing
+        trp = timing.trp
+        trcd = timing.trcd
+        tras = timing.tras
+        trrd_s = timing.trrd_s
+        trrd_l = timing.trrd_l
+        tfaw = timing.tfaw
+        tccd_s = timing.tccd_s
+        tccd_l = timing.tccd_l
+        twr = timing.twr
+        trtp = timing.trtp
+        burst = self.config.burst_duration_ps
+        is_read = op == OP_READ
+        latency = timing.cl if is_read else timing.cwl
+        bank_groups = self._bank_groups
+        n_banks = self._banks
+
+        open_row = self._open_row
+        act_time = self._act_time
+        cas_allowed = self._cas_allowed
+        pre_allowed = self._pre_allowed
+        act_allowed = self._act_allowed
+
+        policy = self.policy
+        queue_depth = policy.queue_depth
+        per_bank_depth = policy.per_bank_depth
+        record = policy.record_commands
+        commands: List[ScheduledCommand] = []
+        stats = PhaseStats()
+        refresh = self._refresh
+        all_bank_refresh = self.config.refresh_mode == REFRESH_ALL_BANK
+
+        # Global channel state.
+        last_cas = _FAR_PAST            # any bank group (tCCD_S)
+        last_cas_bg = [_FAR_PAST] * bank_groups
+        last_act = _FAR_PAST
+        last_act_bg = -1
+        faw_ring = [_FAR_PAST] * 4      # issue times of the last four ACTs
+        faw_idx = 0
+        bus_free = 0
+        last_data_end = 0
+
+        # Per-bank FIFOs; `prepared[b]` marks that the open row matches
+        # the FIFO head (the eager PRE/ACT for it already happened).
+        fifos: List[Deque[Tuple[int, int, int]]] = [deque() for _ in range(n_banks)]
+        prepared = [False] * n_banks
+        queued = 0
+        seq = 0
+
+        source: Iterator[Tuple[int, int, int]] = iter(requests)
+        stalled: Optional[Tuple[int, int, int]] = None  # head-of-line at a full bank FIFO
+        exhausted = False
+
+        n_requests = 0
+        hits = misses = empties = acts = pres = refs = 0
+
+        def refill() -> None:
+            """Pull from the source until the queues are full.
+
+            The source is consumed strictly in order; when the target
+            bank's FIFO is at `per_bank_depth`, intake stalls (matching
+            a real front end, and bounding inter-bank skew).
+            """
+            nonlocal queued, seq, stalled, exhausted
+            while queued < queue_depth:
+                if stalled is not None:
+                    bank = stalled[0]
+                    if len(fifos[bank]) >= per_bank_depth:
+                        return
+                    fifos[bank].append((stalled[1], stalled[2], seq))
+                    seq += 1
+                    queued += 1
+                    stalled = None
+                    continue
+                if exhausted:
+                    return
+                item = next(source, None)
+                if item is None:
+                    exhausted = True
+                    return
+                bank, row, col = item
+                if len(fifos[bank]) >= per_bank_depth:
+                    stalled = (bank, row, col)
+                    return
+                fifos[bank].append((row, col, seq))
+                seq += 1
+                queued += 1
+
+        refill()
+
+        while queued:
+            # ---- refresh ---------------------------------------------------
+            deadline = refresh.next_deadline_ps
+            while deadline is not None and last_cas >= deadline:
+                event = refresh.due(last_cas)
+                if event is None:
+                    break
+                ref_time = event.deadline_ps
+                for b in event.banks:
+                    if open_row[b] is not None:
+                        t_pre = pre_allowed[b]
+                        if record:
+                            commands.append(ScheduledCommand(t_pre, CommandType.PRE, bank=b))
+                        pres += 1
+                        open_row[b] = None
+                        prepared[b] = False
+                        ready = t_pre + trp
+                    else:
+                        ready = act_allowed[b]
+                    if ready > ref_time:
+                        ref_time = ready
+                for b in event.banks:
+                    open_row[b] = None
+                    prepared[b] = False
+                    act_allowed[b] = ref_time + event.duration_ps
+                refs += 1
+                if record:
+                    kind = CommandType.REF_ALL if all_bank_refresh else CommandType.REF_BANK
+                    commands.append(
+                        ScheduledCommand(
+                            ref_time,
+                            kind,
+                            bank=-1 if all_bank_refresh else event.banks[0],
+                        )
+                    )
+                deadline = refresh.next_deadline_ps
+
+            # ---- eager per-bank row management ----------------------------
+            # Every bank whose FIFO head needs a different row gets its
+            # PRE/ACT scheduled now, at the earliest legal time; these
+            # overlap with CAS traffic on other banks.  ACTs whose
+            # bank-local earliest time lies beyond the data-bus frontier
+            # (e.g. a bank parked in refresh) are *deferred*: the tRRD /
+            # tFAW bookkeeping is sequential, so committing a far-future
+            # ACT would push every later ACT behind it.
+            horizon = bus_free
+            any_prepared = False
+            forced_bank = -1
+            while True:
+                deferred_ready = _FAR_FUTURE
+                deferred_bank = -1
+                for b in range(n_banks):
+                    if not fifos[b]:
+                        continue
+                    if prepared[b]:
+                        any_prepared = True
+                        continue
+                    row = fifos[b][0][0]
+                    current = open_row[b]
+                    if current == row:
+                        prepared[b] = True
+                        hits += 1
+                        any_prepared = True
+                        continue
+                    if current is None:
+                        t_pre = -1
+                        act_ready = act_allowed[b]
+                    else:
+                        t_pre = pre_allowed[b]
+                        act_ready = t_pre + trp
+                    if act_ready > horizon and b != forced_bank:
+                        if act_ready < deferred_ready:
+                            deferred_ready = act_ready
+                            deferred_bank = b
+                        continue
+                    if current is None:
+                        empties += 1
+                    else:
+                        misses += 1
+                        pres += 1
+                        if record:
+                            commands.append(ScheduledCommand(t_pre, CommandType.PRE, bank=b))
+                    bg = b % bank_groups
+                    t_act = act_ready
+                    if last_act != _FAR_PAST:
+                        spacing = trrd_l if bg == last_act_bg else trrd_s
+                        t = last_act + spacing
+                        if t > t_act:
+                            t_act = t
+                    t = faw_ring[faw_idx] + tfaw
+                    if t > t_act:
+                        t_act = t
+                    faw_ring[faw_idx] = t_act
+                    faw_idx = (faw_idx + 1) & 3
+                    last_act = t_act
+                    last_act_bg = bg
+                    acts += 1
+                    if record:
+                        commands.append(ScheduledCommand(t_act, CommandType.ACT, bank=b, row=row))
+                    open_row[b] = row
+                    act_time[b] = t_act
+                    cas_allowed[b] = t_act + trcd
+                    pre_allowed[b] = t_act + tras
+                    prepared[b] = True
+                    any_prepared = True
+                if any_prepared or deferred_bank < 0:
+                    break
+                # Nothing is serviceable: the earliest deferred bank must
+                # be activated even though it lies beyond the frontier.
+                forced_bank = deferred_bank
+
+            # ---- CAS arbitration -------------------------------------------
+            # `bound` is the earliest CAS slot anything could get (bus /
+            # tCCD_S limited).  Among heads that achieve it, the oldest
+            # request wins — this preserves stream order and prevents
+            # low-index banks from hogging the bus and starving intake.
+            # If nothing achieves the bound, the earliest-CAS head wins.
+            bound = last_cas + tccd_s
+            t = bus_free - latency
+            if t > bound:
+                bound = t
+            best_cas = _FAR_FUTURE
+            best_seq = _FAR_FUTURE
+            chosen = -1
+            for b in range(n_banks):
+                if not prepared[b] or not fifos[b]:
+                    continue
+                t_cas = cas_allowed[b]
+                t = last_cas + tccd_s
+                if t > t_cas:
+                    t_cas = t
+                t = last_cas_bg[b % bank_groups] + tccd_l
+                if t > t_cas:
+                    t_cas = t
+                t = bus_free - latency
+                if t > t_cas:
+                    t_cas = t
+                seq_b = fifos[b][0][2]
+                # t_cas >= bound always (bound is the max of the global
+                # constraints included in t_cas), so == means "as early
+                # as physically possible".
+                if t_cas <= bound:
+                    if best_cas > bound or seq_b < best_seq:
+                        best_cas = t_cas
+                        best_seq = seq_b
+                        chosen = b
+                elif best_cas > bound and (
+                    t_cas < best_cas or (t_cas == best_cas and seq_b < best_seq)
+                ):
+                    best_cas = t_cas
+                    best_seq = seq_b
+                    chosen = b
+            if chosen < 0:
+                # Defensive: cannot happen — every non-empty FIFO head is
+                # prepared by the eager loop above.
+                raise RuntimeError("scheduler deadlock: no prepared bank head")
+
+            row, col, _seqno = fifos[chosen].popleft()
+            queued -= 1
+            prepared[chosen] = False if not fifos[chosen] else (
+                fifos[chosen][0][0] == open_row[chosen]
+            )
+            if prepared[chosen]:
+                hits += 1
+
+            t_cas = best_cas
+            bg = chosen % bank_groups
+            last_cas = t_cas
+            last_cas_bg[bg] = t_cas
+            data_end = t_cas + latency + burst
+            bus_free = data_end
+            last_data_end = data_end
+            if is_read:
+                t = t_cas + trtp
+            else:
+                t = data_end + twr
+            if t > pre_allowed[chosen]:
+                pre_allowed[chosen] = t
+            if record:
+                kind = CommandType.RD if is_read else CommandType.WR
+                commands.append(
+                    ScheduledCommand(
+                        t_cas, kind, bank=chosen, row=row, column=col, request_id=n_requests
+                    )
+                )
+            n_requests += 1
+            refill()
+
+        stats.requests = n_requests
+        stats.page_hits = hits
+        stats.page_misses = misses
+        stats.page_empties = empties
+        stats.activates = acts
+        stats.precharges = pres
+        stats.refreshes = refs
+        stats.data_time_ps = n_requests * burst
+        stats.makespan_ps = last_data_end
+        stats.command_counts = {
+            CommandType.ACT.value: acts,
+            CommandType.PRE.value: pres,
+            (CommandType.RD if is_read else CommandType.WR).value: n_requests,
+            (CommandType.REF_ALL if all_bank_refresh else CommandType.REF_BANK).value: refs,
+        }
+        return PhaseResult(stats=stats, commands=commands)

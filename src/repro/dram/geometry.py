@@ -1,0 +1,117 @@
+"""DRAM channel geometry: banks, bank groups, rows, columns, bursts.
+
+A :class:`Geometry` describes one independently-scheduled channel the
+way the memory controller sees it.  The interleaver mapping works at
+*burst granularity*: one access moves one full burst
+(``burst_bytes = bus_width_bits / 8 * burst_length``), so the geometry
+also exposes the channel in units of bursts:
+
+* ``bursts_per_row`` -- bursts that fit in one open page,
+* ``total_bursts``   -- capacity of the whole channel in bursts.
+
+The convention required by the paper's mapping is honored here: when a
+standard has bank groups, the *low* bits of the flat bank index select
+the bank group, so incrementing the flat bank index by one always
+switches the bank group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import is_power_of_two, log2_int
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Physical organization of one DRAM channel.
+
+    Attributes:
+        bank_groups: number of bank groups (1 when the standard has no
+            bank-group architecture, e.g. DDR3 and LPDDR4).
+        banks_per_group: banks inside each bank group.
+        rows: rows per bank.
+        columns: column locations per row (in bus-width words).
+        bus_width_bits: data-bus width of the channel.
+        burst_length: beats per burst (BL8, BL16, ...).
+    """
+
+    bank_groups: int
+    banks_per_group: int
+    rows: int
+    columns: int
+    bus_width_bits: int
+    burst_length: int
+
+    def __post_init__(self) -> None:
+        for name in ("bank_groups", "banks_per_group", "rows", "columns", "burst_length"):
+            value = getattr(self, name)
+            if not is_power_of_two(value):
+                raise ValueError(f"{name} must be a positive power of two, got {value}")
+        if self.bus_width_bits <= 0 or self.bus_width_bits % 8:
+            raise ValueError(f"bus_width_bits must be a positive multiple of 8, got {self.bus_width_bits}")
+        if self.columns < self.burst_length:
+            raise ValueError("a row must hold at least one full burst")
+
+    @property
+    def banks(self) -> int:
+        """Total number of banks in the channel."""
+        return self.bank_groups * self.banks_per_group
+
+    @property
+    def burst_bytes(self) -> int:
+        """Bytes moved by one burst."""
+        return self.bus_width_bits // 8 * self.burst_length
+
+    @property
+    def row_bytes(self) -> int:
+        """Page size in bytes (one row of one bank)."""
+        return self.bus_width_bits // 8 * self.columns
+
+    @property
+    def bursts_per_row(self) -> int:
+        """Bursts that fit into one page."""
+        return self.columns // self.burst_length
+
+    @property
+    def total_bursts(self) -> int:
+        """Channel capacity in bursts."""
+        return self.banks * self.rows * self.bursts_per_row
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Channel capacity in bytes."""
+        return self.total_bursts * self.burst_bytes
+
+    # -- bit-field widths used by linear address decoders -------------
+
+    @property
+    def bank_bits(self) -> int:
+        return log2_int(self.banks)
+
+    @property
+    def bank_group_bits(self) -> int:
+        return log2_int(self.bank_groups)
+
+    @property
+    def row_bits(self) -> int:
+        return log2_int(self.rows)
+
+    @property
+    def column_burst_bits(self) -> int:
+        """Bits selecting a burst within a row."""
+        return log2_int(self.bursts_per_row)
+
+    def bank_group_of(self, flat_bank: int) -> int:
+        """Bank group selected by a flat bank index (low bits)."""
+        self._check_bank(flat_bank)
+        return flat_bank % self.bank_groups
+
+    def bank_in_group_of(self, flat_bank: int) -> int:
+        """Bank-within-group selected by a flat bank index (high bits)."""
+        self._check_bank(flat_bank)
+        return flat_bank // self.bank_groups
+
+    def _check_bank(self, flat_bank: int) -> None:
+        if not 0 <= flat_bank < self.banks:
+            raise ValueError(f"bank index {flat_bank} out of range [0, {self.banks})")

@@ -1,0 +1,93 @@
+"""High-level simulation entry points.
+
+Glues together an interleaver index space, an address mapping and the
+memory controller, and returns the per-phase bandwidth utilizations
+that the paper's Table I reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dram.controller import OP_READ, OP_WRITE, ControllerConfig, MemoryController
+from repro.dram.presets import DramConfig
+from repro.dram.stats import PhaseStats, min_phase_utilization
+from repro.mapping.base import InterleaverMapping
+
+
+@dataclass(frozen=True)
+class InterleaverSimResult:
+    """Write- and read-phase outcome for one (config, mapping) pair.
+
+    Attributes:
+        config_name: DRAM configuration name (e.g. ``"DDR4-3200"``).
+        mapping_name: mapping identifier (``"row-major"``/``"optimized"``).
+        write: write-phase statistics.
+        read: read-phase statistics.
+    """
+
+    config_name: str
+    mapping_name: str
+    write: PhaseStats
+    read: PhaseStats
+
+    @property
+    def write_utilization(self) -> float:
+        return self.write.utilization
+
+    @property
+    def read_utilization(self) -> float:
+        return self.read.utilization
+
+    @property
+    def min_utilization(self) -> float:
+        """The throughput-limiting utilization (paper, Sec. III)."""
+        return min_phase_utilization(self.write, self.read)
+
+    def effective_bandwidth_bytes_per_s(self, config: DramConfig) -> float:
+        """Sustained interleaver bandwidth on this configuration."""
+        return self.min_utilization * config.peak_bandwidth_bytes_per_s
+
+
+def simulate_phase(
+    config: DramConfig,
+    mapping: InterleaverMapping,
+    op: str,
+    policy: Optional[ControllerConfig] = None,
+) -> PhaseStats:
+    """Simulate a single write or read phase.
+
+    Args:
+        config: DRAM configuration to simulate.
+        mapping: interleaver-to-DRAM address mapping.
+        op: :data:`~repro.dram.controller.OP_WRITE` or
+            :data:`~repro.dram.controller.OP_READ`; selects both the
+            command type and the traversal order (writes are row-wise,
+            reads column-wise).
+        policy: controller policy overrides.
+    """
+    controller = MemoryController(config, policy)
+    if op == OP_WRITE:
+        addresses = mapping.write_addresses()
+    elif op == OP_READ:
+        addresses = mapping.read_addresses()
+    else:
+        raise ValueError(f"op must be {OP_WRITE!r} or {OP_READ!r}, got {op!r}")
+    return controller.run_phase(addresses, op).stats
+
+
+def simulate_interleaver(
+    config: DramConfig,
+    mapping: InterleaverMapping,
+    policy: Optional[ControllerConfig] = None,
+) -> InterleaverSimResult:
+    """Simulate both phases of one interleaver frame (Table I cell pair)."""
+    write = simulate_phase(config, mapping, OP_WRITE, policy)
+    read = simulate_phase(config, mapping, OP_READ, policy)
+    return InterleaverSimResult(
+        config_name=config.name,
+        mapping_name=mapping.name,
+        write=write,
+        read=read,
+    )

@@ -1,0 +1,98 @@
+"""Bandwidth and page-policy statistics for one simulated access phase.
+
+Utilization follows the paper's definition: the fraction of the phase's
+wall-clock time during which the data bus transfers payload,
+
+    utilization = (bursts x burst_duration) / makespan
+
+where the makespan runs from the phase start (time 0) to the end of the
+last data burst.  The maximum interleaver throughput is set by the
+*minimum* utilization across the write and read phases
+(:func:`min_phase_utilization`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class PhaseStats:
+    """Counters collected while simulating one access phase.
+
+    Attributes:
+        requests: CAS commands issued for payload (one per burst).
+        page_hits: requests served from an already-open row.
+        page_misses: requests that found a different row open (PRE+ACT).
+        page_empties: requests that found the bank precharged (ACT only).
+        activates: ACT commands issued.
+        precharges: PRE commands issued.
+        refreshes: refresh commands issued.
+        data_time_ps: total data-bus busy time.
+        makespan_ps: time from phase start to end of last burst.
+        command_counts: per-command-type issue counts.
+    """
+
+    requests: int = 0
+    page_hits: int = 0
+    page_misses: int = 0
+    page_empties: int = 0
+    activates: int = 0
+    precharges: int = 0
+    refreshes: int = 0
+    data_time_ps: int = 0
+    makespan_ps: int = 0
+    command_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        """Data-bus utilization over the phase (0.0 – 1.0)."""
+        if self.makespan_ps <= 0:
+            return 0.0
+        return self.data_time_ps / self.makespan_ps
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests that were page hits."""
+        if self.requests == 0:
+            return 0.0
+        return self.page_hits / self.requests
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of requests that were page misses (conflict)."""
+        if self.requests == 0:
+            return 0.0
+        return self.page_misses / self.requests
+
+    def merge(self, other: "PhaseStats") -> "PhaseStats":
+        """Combine two phases as if run back to back (for reporting)."""
+        merged = PhaseStats(
+            requests=self.requests + other.requests,
+            page_hits=self.page_hits + other.page_hits,
+            page_misses=self.page_misses + other.page_misses,
+            page_empties=self.page_empties + other.page_empties,
+            activates=self.activates + other.activates,
+            precharges=self.precharges + other.precharges,
+            refreshes=self.refreshes + other.refreshes,
+            data_time_ps=self.data_time_ps + other.data_time_ps,
+            makespan_ps=self.makespan_ps + other.makespan_ps,
+        )
+        for counts in (self.command_counts, other.command_counts):
+            for name, count in counts.items():
+                merged.command_counts[name] = merged.command_counts.get(name, 0) + count
+        return merged
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.requests} requests, util={self.utilization:.2%}, "
+            f"hits={self.page_hits}, misses={self.page_misses}, "
+            f"empties={self.page_empties}, refreshes={self.refreshes}"
+        )
+
+
+def min_phase_utilization(write: PhaseStats, read: PhaseStats) -> float:
+    """The interleaver-throughput-limiting utilization (paper, Sec. III)."""
+    return min(write.utilization, read.utilization)

@@ -1,0 +1,180 @@
+"""JEDEC DRAM timing parameters.
+
+All durations are integer picoseconds (see :mod:`repro.units`).  The
+parameter set covers every first-order constraint that determines
+sustained bandwidth for the streaming row-wise / column-wise access
+patterns of a block interleaver:
+
+* row-cycle timings: ``tRCD``, ``tRP``, ``tRAS`` (and derived ``tRC``);
+* activate throttles: ``tRRD_S`` / ``tRRD_L`` (different / same bank
+  group) and the four-activate window ``tFAW``;
+* column-to-column spacing: ``tCCD_S`` / ``tCCD_L``;
+* write recovery / turnaround: ``tWR``, ``tWTR_S`` / ``tWTR_L``,
+  ``tRTP``, and the explicit read-to-write bus turnaround ``tRTW``;
+* CAS latencies ``tCL`` (read) and ``tCWL`` (write);
+* refresh: ``tREFI`` and ``tRFC`` (all-bank) / ``tRFCpb`` (per-bank).
+
+Standards without bank groups (DDR3, LPDDR4) simply set the ``_S`` and
+``_L`` flavors equal; the controller then behaves identically for
+same-group and cross-group accesses, which is exactly the JEDEC
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.units import clock_period_ps
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Device timing parameters in integer picoseconds.
+
+    Attributes:
+        tck: command-clock period.
+        cl: read CAS latency (command to first data beat).
+        cwl: write CAS latency (command to first data beat).
+        trcd: ACT to internal read/write delay.
+        trp: PRE to ACT delay (same bank).
+        tras: ACT to PRE minimum.
+        trrd_s: ACT to ACT, different bank group.
+        trrd_l: ACT to ACT, same bank group.
+        tfaw: rolling window that may contain at most four ACTs.
+        tccd_s: CAS to CAS, different bank group.
+        tccd_l: CAS to CAS, same bank group.
+        twr: end of write data to PRE (write recovery).
+        twtr_s: end of write data to read command, different bank group.
+        twtr_l: end of write data to read command, same bank group.
+        trtp: read command to PRE.
+        trtw: read command to write command on the same channel (bus
+            turnaround; encodes the DQ direction switch penalty).
+        trefi: average refresh command interval.
+        trfc: all-bank refresh cycle time.
+        trfc_pb: per-bank refresh cycle time (0 when the standard has no
+            per-bank refresh, i.e. DDR3/DDR4).
+    """
+
+    tck: int
+    cl: int
+    cwl: int
+    trcd: int
+    trp: int
+    tras: int
+    trrd_s: int
+    trrd_l: int
+    tfaw: int
+    tccd_s: int
+    tccd_l: int
+    twr: int
+    twtr_s: int
+    twtr_l: int
+    trtp: int
+    trtw: int
+    trefi: int
+    trfc: int
+    trfc_pb: int = 0
+
+    def __post_init__(self) -> None:
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if not isinstance(value, int):
+                raise TypeError(f"{field.name} must be an integer picosecond value, got {value!r}")
+            if value < 0:
+                raise ValueError(f"{field.name} must be non-negative, got {value}")
+        if self.tck <= 0:
+            raise ValueError(f"tck must be positive, got {self.tck}")
+        if self.trrd_l < self.trrd_s:
+            raise ValueError("tRRD_L must be >= tRRD_S")
+        if self.tccd_l < self.tccd_s:
+            raise ValueError("tCCD_L must be >= tCCD_S")
+        if self.twtr_l < self.twtr_s:
+            raise ValueError("tWTR_L must be >= tWTR_S")
+        if self.tras < self.trcd:
+            raise ValueError("tRAS must be >= tRCD")
+        if self.tfaw < self.trrd_s:
+            raise ValueError("tFAW must be >= tRRD_S")
+
+    @property
+    def trc(self) -> int:
+        """Row-cycle time: minimum ACT-to-ACT on the same bank."""
+        return self.tras + self.trp
+
+    def scaled(self, factor: float) -> "TimingParams":
+        """Return a copy with every analog timing scaled by ``factor``.
+
+        ``tck`` is preserved; useful for sensitivity studies.
+        """
+        values = {f.name: getattr(self, f.name) for f in fields(self)}
+        for name in values:
+            if name != "tck":
+                values[name] = round(values[name] * factor)
+        return TimingParams(**values)
+
+
+def _ck(data_rate_mtps: int, n_clocks: float) -> int:
+    """``n_clocks`` command clocks at the given data rate, in ps.
+
+    Computed from the exact (rational) clock period rather than the
+    rounded single-clock value so that e.g. 8 clocks at 6400 MT/s give
+    exactly 2500 ps (8 x 312.5), not 8 x 312 = 2496 ps.
+    """
+    return round(n_clocks * 2_000_000 / data_rate_mtps)
+
+
+def from_datasheet(
+    data_rate_mtps: int,
+    *,
+    cl_ck: float,
+    cwl_ck: float,
+    trcd_ns: float,
+    trp_ns: float,
+    tras_ns: float,
+    trrd_s_ns: float,
+    trrd_l_ns: float,
+    tfaw_ns: float,
+    tccd_s_ck: float,
+    tccd_l_ns: float,
+    twr_ns: float,
+    twtr_s_ns: float,
+    twtr_l_ns: float,
+    trtp_ns: float,
+    trtw_ck: float,
+    trefi_us: float,
+    trfc_ns: float,
+    trfc_pb_ns: float = 0.0,
+) -> TimingParams:
+    """Build :class:`TimingParams` from datasheet-style values.
+
+    Datasheets express some limits in clocks (CAS latencies, tCCD_S)
+    and others in nanoseconds; this helper converts everything to the
+    integer-picosecond form the simulator uses.  Nanosecond limits are
+    *not* rounded up to whole clocks here — the controller quantizes
+    command issue slots to the clock grid at scheduling time, which is
+    equivalent and keeps the parameters exact.
+    """
+    from repro.units import ns_to_ps, us_to_ps
+
+    tck = clock_period_ps(data_rate_mtps)
+    tccd_l = max(ns_to_ps(tccd_l_ns), _ck(data_rate_mtps, tccd_s_ck))
+    return TimingParams(
+        tck=tck,
+        cl=_ck(data_rate_mtps, cl_ck),
+        cwl=_ck(data_rate_mtps, cwl_ck),
+        trcd=ns_to_ps(trcd_ns),
+        trp=ns_to_ps(trp_ns),
+        tras=ns_to_ps(tras_ns),
+        trrd_s=max(ns_to_ps(trrd_s_ns), 4 * tck),
+        trrd_l=max(ns_to_ps(trrd_l_ns), 4 * tck),
+        tfaw=ns_to_ps(tfaw_ns),
+        tccd_s=_ck(data_rate_mtps, tccd_s_ck),
+        tccd_l=tccd_l,
+        twr=ns_to_ps(twr_ns),
+        twtr_s=ns_to_ps(twtr_s_ns),
+        twtr_l=ns_to_ps(twtr_l_ns),
+        trtp=ns_to_ps(trtp_ns),
+        trtw=_ck(data_rate_mtps, trtw_ck),
+        trefi=us_to_ps(trefi_us),
+        trfc=ns_to_ps(trfc_ns),
+        trfc_pb=ns_to_ps(trfc_pb_ns),
+    )

@@ -1,0 +1,206 @@
+"""Command-trace serialization and JEDEC-constraint replay checking.
+
+The controller can record every scheduled command
+(:class:`~repro.dram.commands.ScheduledCommand`).  This module writes
+those traces in a stable text format, reads them back, and — most
+importantly — **replays** a trace against the timing parameters to
+verify that no constraint was violated.  The replay checker is an
+independent implementation of the JEDEC rules (state-machine style, not
+event-driven), so it cross-checks the controller in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple
+
+from repro.dram.commands import CommandType, ScheduledCommand
+from repro.dram.presets import DramConfig
+
+_HEADER = "# repro-dram-trace-v1"
+
+
+def write_trace(commands: Iterable[ScheduledCommand], stream: TextIO) -> int:
+    """Write commands as one line each; returns the number written.
+
+    Format: ``time_ps command bank row column request_id``.
+    """
+    stream.write(_HEADER + "\n")
+    count = 0
+    for command in commands:
+        stream.write(
+            f"{command.time_ps} {command.command.value} {command.bank} "
+            f"{command.row} {command.column} {command.request_id}\n"
+        )
+        count += 1
+    return count
+
+
+def read_trace(stream: TextIO) -> List[ScheduledCommand]:
+    """Inverse of :func:`write_trace`."""
+    header = stream.readline().strip()
+    if header != _HEADER:
+        raise ValueError(f"not a repro DRAM trace (header {header!r})")
+    commands = []
+    for line_no, line in enumerate(stream, start=2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 6:
+            raise ValueError(f"line {line_no}: expected 6 fields, got {len(parts)}")
+        time_ps, name, bank, row, column, request_id = parts
+        commands.append(
+            ScheduledCommand(
+                time_ps=int(time_ps),
+                command=CommandType(name),
+                bank=int(bank),
+                row=int(row),
+                column=int(column),
+                request_id=int(request_id),
+            )
+        )
+    return commands
+
+
+@dataclass
+class Violation:
+    """One JEDEC rule violation found by the replay checker."""
+
+    time_ps: int
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"t={self.time_ps} ps: {self.rule}: {self.detail}"
+
+
+@dataclass
+class _BankReplayState:
+    open_row: Optional[int] = None
+    act_time: int = -(10**15)
+    pre_ready: int = 0
+    act_ready: int = 0
+    cas_ready: int = 0
+
+
+class TraceChecker:
+    """Replays a command trace and reports timing violations.
+
+    Checked rules: tRCD, tRP, tRAS, tRRD_S/L, tFAW, tCCD_S/L, tWR,
+    tRTP, row-open/closed protocol errors, and refresh blackout
+    periods.  The checker is deliberately simple and stateful — an
+    independent oracle for the event-driven scheduler.
+    """
+
+    def __init__(self, config: DramConfig):
+        self.config = config
+        self.violations: List[Violation] = []
+        t = config.timing
+        self._banks = [
+            _BankReplayState() for _ in range(config.geometry.banks)
+        ]
+        self._timing = t
+        self._burst = config.burst_duration_ps
+        self._last_cas: Optional[Tuple[int, int]] = None  # (time, bank)
+        self._last_act: Optional[Tuple[int, int]] = None  # (time, bank)
+        self._act_history: List[int] = []
+        self._bank_groups = config.geometry.bank_groups
+
+    def _flag(self, time_ps: int, rule: str, detail: str) -> None:
+        self.violations.append(Violation(time_ps=time_ps, rule=rule, detail=detail))
+
+    def check(self, commands: Iterable[ScheduledCommand]) -> List[Violation]:
+        """Replay commands (any stable order; sorted by time first)."""
+        t = self._timing
+        ordered = sorted(commands, key=lambda c: (c.time_ps,))
+        for command in ordered:
+            kind = command.command
+            now = command.time_ps
+            if kind is CommandType.ACT:
+                self._check_act(command)
+            elif kind is CommandType.PRE:
+                self._check_pre(command)
+            elif kind in (CommandType.RD, CommandType.WR):
+                self._check_cas(command)
+            elif kind is CommandType.REF_ALL:
+                for bank_state in self._banks:
+                    if bank_state.open_row is not None:
+                        self._flag(now, "REFab", "refresh with open banks")
+                    bank_state.act_ready = max(bank_state.act_ready, now + t.trfc)
+            elif kind is CommandType.REF_BANK:
+                state = self._banks[command.bank]
+                if state.open_row is not None:
+                    self._flag(now, "REFpb", f"bank {command.bank} open during refresh")
+                state.act_ready = max(state.act_ready, now + t.trfc_pb)
+        return self.violations
+
+    def _check_act(self, command: ScheduledCommand) -> None:
+        t = self._timing
+        now = command.time_ps
+        state = self._banks[command.bank]
+        if state.open_row is not None:
+            self._flag(now, "protocol", f"ACT on open bank {command.bank}")
+        if now < state.act_ready:
+            self._flag(now, "tRP/tRFC", f"ACT {state.act_ready - now} ps early on bank {command.bank}")
+        if self._last_act is not None:
+            last_time, last_bank = self._last_act
+            same_group = (
+                last_bank % self._bank_groups == command.bank % self._bank_groups
+            )
+            spacing = t.trrd_l if same_group else t.trrd_s
+            if now - last_time < spacing:
+                self._flag(now, "tRRD", f"ACT only {now - last_time} ps after previous")
+        self._act_history.append(now)
+        if len(self._act_history) >= 5:
+            window = now - self._act_history[-5]
+            if window < t.tfaw:
+                self._flag(now, "tFAW", f"5th ACT within {window} ps")
+        state.open_row = command.row
+        state.act_time = now
+        state.cas_ready = now + t.trcd
+        state.pre_ready = max(state.pre_ready, now + t.tras)
+        self._last_act = (now, command.bank)
+
+    def _check_pre(self, command: ScheduledCommand) -> None:
+        t = self._timing
+        now = command.time_ps
+        state = self._banks[command.bank]
+        if now < state.pre_ready:
+            self._flag(now, "tRAS/tWR/tRTP",
+                       f"PRE {state.pre_ready - now} ps early on bank {command.bank}")
+        state.open_row = None
+        state.act_ready = max(state.act_ready, now + t.trp)
+
+    def _check_cas(self, command: ScheduledCommand) -> None:
+        t = self._timing
+        now = command.time_ps
+        state = self._banks[command.bank]
+        if state.open_row is None:
+            self._flag(now, "protocol", f"CAS on precharged bank {command.bank}")
+        elif state.open_row != command.row:
+            self._flag(now, "protocol",
+                       f"CAS row {command.row} but open row {state.open_row}")
+        if now < state.cas_ready:
+            self._flag(now, "tRCD", f"CAS {state.cas_ready - now} ps early")
+        if self._last_cas is not None:
+            last_time, last_bank = self._last_cas
+            same_group = (
+                last_bank % self._bank_groups == command.bank % self._bank_groups
+            )
+            spacing = t.tccd_l if same_group else t.tccd_s
+            if now - last_time < spacing:
+                self._flag(now, "tCCD", f"CAS only {now - last_time} ps after previous")
+        if command.command is CommandType.RD:
+            latency, recovery = t.cl, t.trtp
+            state.pre_ready = max(state.pre_ready, now + recovery)
+        else:
+            latency = t.cwl
+            state.pre_ready = max(state.pre_ready, now + latency + self._burst + t.twr)
+        self._last_cas = (now, command.bank)
+
+
+def check_phase_commands(config: DramConfig,
+                         commands: Iterable[ScheduledCommand]) -> List[Violation]:
+    """One-call trace replay: returns the list of violations (empty = ok)."""
+    return TraceChecker(config).check(commands)

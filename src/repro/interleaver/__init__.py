@@ -1,0 +1,15 @@
+"""Functional interleaver implementations (index math and data paths)."""
+
+from repro.interleaver.triangular import (
+    RectangularIndexSpace,
+    TriangularIndexSpace,
+    interleaver_delay,
+    triangle_size_for_elements,
+)
+
+__all__ = [
+    "RectangularIndexSpace",
+    "TriangularIndexSpace",
+    "interleaver_delay",
+    "triangle_size_for_elements",
+]

@@ -1,0 +1,75 @@
+"""Symbol-stream helpers.
+
+The communication-system layers work on streams of small fixed-width
+symbols (the paper's motivating system uses 3-bit soft symbols).  A
+stream is represented as a 1-D :class:`numpy.ndarray` of unsigned
+integers; these helpers generate, frame and pack such streams.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def random_symbols(count: int, bits_per_symbol: int = 3,
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Uniform random symbol stream.
+
+    Args:
+        count: number of symbols.
+        bits_per_symbol: symbol width in bits (1..16).
+        rng: optional numpy generator for reproducibility.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if not 1 <= bits_per_symbol <= 16:
+        raise ValueError(f"bits_per_symbol must be in [1, 16], got {bits_per_symbol}")
+    rng = rng or np.random.default_rng()
+    return rng.integers(0, 1 << bits_per_symbol, size=count, dtype=np.uint16)
+
+
+def sequential_symbols(count: int, bits_per_symbol: int = 16) -> np.ndarray:
+    """Stream of ramp symbols (identity payload for tracing tests).
+
+    Values wrap at the symbol width so the stream stays representable;
+    with the default 16-bit width streams up to 65536 symbols are
+    collision-free, which is what the data-path identity tests use.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if not 1 <= bits_per_symbol <= 16:
+        raise ValueError(f"bits_per_symbol must be in [1, 16], got {bits_per_symbol}")
+    return (np.arange(count, dtype=np.uint32) & ((1 << bits_per_symbol) - 1)).astype(np.uint16)
+
+
+def pad_to(symbols: np.ndarray, length: int, fill: int = 0) -> np.ndarray:
+    """Pad a stream with ``fill`` symbols up to ``length``."""
+    if length < symbols.size:
+        raise ValueError(f"cannot pad {symbols.size} symbols down to {length}")
+    if length == symbols.size:
+        return symbols.copy()
+    padded = np.full(length, fill, dtype=symbols.dtype)
+    padded[: symbols.size] = symbols
+    return padded
+
+
+def symbols_per_burst(burst_bytes: int, bits_per_symbol: int) -> int:
+    """How many symbols fit into one DRAM burst.
+
+    The paper's example: a 512-bit burst carries 170 three-bit symbols
+    (with 2 bits unused).
+    """
+    if burst_bytes <= 0:
+        raise ValueError(f"burst_bytes must be positive, got {burst_bytes}")
+    if bits_per_symbol <= 0:
+        raise ValueError(f"bits_per_symbol must be positive, got {bits_per_symbol}")
+    return burst_bytes * 8 // bits_per_symbol
+
+
+def frame_count(total_symbols: int, frame_symbols: int) -> int:
+    """Number of full frames in a stream (the tail is discarded)."""
+    if frame_symbols <= 0:
+        raise ValueError(f"frame_symbols must be positive, got {frame_symbols}")
+    return total_symbols // frame_symbols

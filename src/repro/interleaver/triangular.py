@@ -1,0 +1,217 @@
+"""Triangular block interleaver index spaces and traversal orders.
+
+A triangular block interleaver stores the symbols of multiple
+consecutive code words in the upper-left half of an ``N x N`` square:
+cell ``(i, j)`` exists when ``i + j < N``.  Symbols are **written
+row-wise** (row ``i`` holds ``N - i`` symbols) and **read column-wise**
+(column ``j`` holds ``N - j`` symbols).  A symbol written at ``(i, j)``
+therefore leaves the interleaver after a delay that grows with the
+distance between its write and read positions, which is what disperses
+burst errors over many code words.
+
+At the DRAM level each cell of the index space is one *burst* (the
+paper's two-stage construction packs symbols of distinct code words
+into a burst with a small SRAM interleaver first — see
+:mod:`repro.interleaver.two_stage`), so these index spaces are reused
+unchanged by the address mappings in :mod:`repro.mapping`.
+
+A rectangular index space is provided as well; it backs the paper's
+Fig. 1 illustrations (which show a rectangular excerpt) and the classic
+rectangular block interleaver used in the SRAM pre-stage.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Tuple
+
+
+class TriangularIndexSpace:
+    """Upper-left triangular half of an ``N x N`` square.
+
+    Cell ``(i, j)`` is valid iff ``0 <= i``, ``0 <= j`` and
+    ``i + j < N``.
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError(f"interleaver dimension must be >= 1, got {n}")
+        self.n = n
+
+    # -- geometry -----------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Number of (non-empty) rows."""
+        return self.n
+
+    @property
+    def width(self) -> int:
+        """Length of the longest row (row 0)."""
+        return self.n
+
+    @property
+    def num_elements(self) -> int:
+        """Total number of cells: N (N + 1) / 2."""
+        return self.n * (self.n + 1) // 2
+
+    def row_length(self, i: int) -> int:
+        """Number of cells in row ``i``."""
+        self._check_row(i)
+        return self.n - i
+
+    def col_length(self, j: int) -> int:
+        """Number of cells in column ``j``."""
+        if not 0 <= j < self.n:
+            raise ValueError(f"column {j} out of range [0, {self.n})")
+        return self.n - j
+
+    def contains(self, i: int, j: int) -> bool:
+        """Whether ``(i, j)`` is a valid cell."""
+        return 0 <= i and 0 <= j and i + j < self.n
+
+    # -- row-major linearization (the SRAM-style baseline layout) ------
+
+    def row_offset(self, i: int) -> int:
+        """Linear index of cell ``(i, 0)`` in row-major packing.
+
+        Rows are packed back to back, so the offset of row ``i`` is the
+        sum of the lengths of rows ``0 .. i-1``:
+        ``i * N - i (i - 1) / 2``.
+        """
+        self._check_row(i)
+        return i * self.n - i * (i - 1) // 2
+
+    def linear_index(self, i: int, j: int) -> int:
+        """Row-major linear index of cell ``(i, j)``."""
+        if not self.contains(i, j):
+            raise ValueError(f"({i}, {j}) outside triangle of size {self.n}")
+        return self.row_offset(i) + j
+
+    def from_linear(self, index: int) -> Tuple[int, int]:
+        """Inverse of :meth:`linear_index`."""
+        if not 0 <= index < self.num_elements:
+            raise ValueError(f"linear index {index} out of range [0, {self.num_elements})")
+        # Row i satisfies row_offset(i) <= index < row_offset(i + 1).
+        # Solving i*N - i(i-1)/2 <= index for i gives a closed form; a
+        # float seed plus a local fix-up avoids precision traps.
+        n = self.n
+        i = int(n + 0.5 - math.sqrt((n + 0.5) ** 2 - 2 * index))
+        i = max(0, min(i, n - 1))
+        while i + 1 < n and self.row_offset(i + 1) <= index:
+            i += 1
+        while i > 0 and self.row_offset(i) > index:
+            i -= 1
+        return i, index - self.row_offset(i)
+
+    # -- traversal orders ----------------------------------------------
+
+    def write_order(self) -> Iterator[Tuple[int, int]]:
+        """Cells in write (row-wise) order."""
+        n = self.n
+        for i in range(n):
+            for j in range(n - i):
+                yield i, j
+
+    def read_order(self) -> Iterator[Tuple[int, int]]:
+        """Cells in read (column-wise) order."""
+        n = self.n
+        for j in range(n):
+            for i in range(n - j):
+                yield i, j
+
+    def _check_row(self, i: int) -> None:
+        if not 0 <= i < self.n:
+            raise ValueError(f"row {i} out of range [0, {self.n})")
+
+    def __repr__(self) -> str:
+        return f"TriangularIndexSpace(n={self.n})"
+
+
+class RectangularIndexSpace:
+    """Dense ``height x width`` index space (classic block interleaver)."""
+
+    def __init__(self, height: int, width: int):
+        if height < 1 or width < 1:
+            raise ValueError(f"dimensions must be >= 1, got {height} x {width}")
+        self.height = height
+        self.width = width
+
+    @property
+    def num_elements(self) -> int:
+        return self.height * self.width
+
+    def row_length(self, i: int) -> int:
+        if not 0 <= i < self.height:
+            raise ValueError(f"row {i} out of range [0, {self.height})")
+        return self.width
+
+    def col_length(self, j: int) -> int:
+        if not 0 <= j < self.width:
+            raise ValueError(f"column {j} out of range [0, {self.width})")
+        return self.height
+
+    def contains(self, i: int, j: int) -> bool:
+        return 0 <= i < self.height and 0 <= j < self.width
+
+    def row_offset(self, i: int) -> int:
+        if not 0 <= i < self.height:
+            raise ValueError(f"row {i} out of range [0, {self.height})")
+        return i * self.width
+
+    def linear_index(self, i: int, j: int) -> int:
+        if not self.contains(i, j):
+            raise ValueError(f"({i}, {j}) outside {self.height} x {self.width} space")
+        return i * self.width + j
+
+    def from_linear(self, index: int) -> Tuple[int, int]:
+        if not 0 <= index < self.num_elements:
+            raise ValueError(f"linear index {index} out of range [0, {self.num_elements})")
+        return divmod(index, self.width)
+
+    def write_order(self) -> Iterator[Tuple[int, int]]:
+        for i in range(self.height):
+            for j in range(self.width):
+                yield i, j
+
+    def read_order(self) -> Iterator[Tuple[int, int]]:
+        for j in range(self.width):
+            for i in range(self.height):
+                yield i, j
+
+    def __repr__(self) -> str:
+        return f"RectangularIndexSpace({self.height}, {self.width})"
+
+
+def triangle_size_for_elements(num_elements: int) -> int:
+    """Smallest ``N`` with ``N (N + 1) / 2 >= num_elements``.
+
+    The paper's headline configuration has 12.5 M elements, i.e.
+    ``N = 5000`` (``5000 * 5001 / 2 = 12 502 500``).
+    """
+    if num_elements < 1:
+        raise ValueError(f"element count must be >= 1, got {num_elements}")
+    n = int(math.sqrt(2 * num_elements))
+    while n * (n + 1) // 2 < num_elements:
+        n += 1
+    while n > 1 and (n - 1) * n // 2 >= num_elements:
+        n -= 1
+    return n
+
+
+def interleaver_delay(space: TriangularIndexSpace, i: int, j: int) -> int:
+    """Number of symbol slots between write and read of cell ``(i, j)``.
+
+    Write slot: position of ``(i, j)`` in write order; read slot:
+    position in read order.  The difference (modulo the frame length,
+    since frames stream back to back) is the dwell time of the symbol
+    inside the interleaver and determines the memory lifetime relevant
+    to the refresh-disabling argument in Section III of the paper.
+    """
+    if not space.contains(i, j):
+        raise ValueError(f"({i}, {j}) outside triangle of size {space.n}")
+    write_slot = space.linear_index(i, j)
+    # Position of (i, j) in column-major order over the triangle.
+    n = space.n
+    read_slot = j * n - j * (j - 1) // 2 + i
+    return (read_slot - write_slot) % space.num_elements

@@ -1,0 +1,166 @@
+"""Fast analytic access-pattern metrics (no timing simulation).
+
+These metrics explain *why* a mapping performs the way it does, in
+terms the paper's Section II uses:
+
+* per-bank page-hit run lengths in each traversal direction (how many
+  consecutive accesses a bank serves from one open page),
+* the bank-switch pattern (does every access change bank / bank
+  group?),
+* simultaneity of page misses across banks (the problem optimization 3
+  removes).
+
+They run in one pass over the access sequence and are used by tests —
+the full timing simulator is in :mod:`repro.dram.controller`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.mapping.base import AddressTuple, InterleaverMapping
+
+
+@dataclass
+class PatternMetrics:
+    """Single-pass access-pattern statistics for one traversal.
+
+    Attributes:
+        accesses: total accesses in the traversal.
+        page_switches: per-bank open-row changes (= page misses an
+            open-page controller would take, ignoring refresh).
+        bank_switches: accesses whose bank differs from the previous
+            access.
+        bank_group_switches: accesses whose bank group differs from the
+            previous access.
+        run_lengths: histogram of per-bank same-page run lengths.
+        miss_gap_histogram: histogram of global distances (in accesses)
+            between consecutive page switches on *any* bank — a spread
+            of small gaps means misses are staggered; a spike at 0-1
+            plus long gaps means misses collide (the pre-optimization-3
+            pathology).
+    """
+
+    accesses: int = 0
+    page_switches: int = 0
+    bank_switches: int = 0
+    bank_group_switches: int = 0
+    run_lengths: Dict[int, int] = field(default_factory=dict)
+    miss_gap_histogram: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        """Open-page hit rate implied by the pattern."""
+        if self.accesses == 0:
+            return 0.0
+        return 1.0 - self.page_switches / self.accesses
+
+    @property
+    def mean_run_length(self) -> float:
+        """Average per-bank same-page run length."""
+        total = sum(length * count for length, count in self.run_lengths.items())
+        runs = sum(self.run_lengths.values())
+        if runs == 0:
+            return 0.0
+        return total / runs
+
+    @property
+    def bank_switch_rate(self) -> float:
+        if self.accesses <= 1:
+            return 0.0
+        return self.bank_switches / (self.accesses - 1)
+
+    @property
+    def bank_group_switch_rate(self) -> float:
+        if self.accesses <= 1:
+            return 0.0
+        return self.bank_group_switches / (self.accesses - 1)
+
+
+def analyze_pattern(
+    addresses: Iterable[AddressTuple],
+    bank_groups: int = 1,
+) -> PatternMetrics:
+    """Compute :class:`PatternMetrics` over an address sequence."""
+    metrics = PatternMetrics()
+    open_rows: Dict[int, int] = {}
+    run_start: Dict[int, int] = {}
+    per_bank_count: Dict[int, int] = {}
+    previous_bank: Optional[int] = None
+    last_switch_position: Optional[int] = None
+    position = 0
+    for bank, row, _column in addresses:
+        if previous_bank is not None:
+            if bank != previous_bank:
+                metrics.bank_switches += 1
+            if bank % bank_groups != previous_bank % bank_groups:
+                metrics.bank_group_switches += 1
+        previous_bank = bank
+        count = per_bank_count.get(bank, 0)
+        current = open_rows.get(bank)
+        if current != row:
+            if current is not None:
+                metrics.page_switches += 1
+                run = count - run_start[bank]
+                metrics.run_lengths[run] = metrics.run_lengths.get(run, 0) + 1
+                if last_switch_position is not None:
+                    gap = position - last_switch_position
+                    metrics.miss_gap_histogram[gap] = metrics.miss_gap_histogram.get(gap, 0) + 1
+                last_switch_position = position
+            open_rows[bank] = row
+            run_start[bank] = count
+        per_bank_count[bank] = count + 1
+        position += 1
+    # Close out trailing runs.
+    for bank, start in run_start.items():
+        run = per_bank_count[bank] - start
+        if run > 0:
+            metrics.run_lengths[run] = metrics.run_lengths.get(run, 0) + 1
+    metrics.accesses = position
+    return metrics
+
+
+@dataclass(frozen=True)
+class MappingProfile:
+    """Write- and read-direction metrics for one mapping."""
+
+    write: PatternMetrics
+    read: PatternMetrics
+
+    @property
+    def min_hit_rate(self) -> float:
+        return min(self.write.hit_rate, self.read.hit_rate)
+
+    @property
+    def balance(self) -> float:
+        """Ratio of the two directions' mean run lengths (1.0 = even)."""
+        a = self.write.mean_run_length
+        b = self.read.mean_run_length
+        if min(a, b) == 0:
+            return float("inf")
+        return max(a, b) / min(a, b)
+
+
+def profile_mapping(mapping: InterleaverMapping) -> MappingProfile:
+    """Analyze both traversal directions of a mapping."""
+    bank_groups = mapping.geometry.bank_groups
+    return MappingProfile(
+        write=analyze_pattern(mapping.write_addresses(), bank_groups),
+        read=analyze_pattern(mapping.read_addresses(), bank_groups),
+    )
+
+
+def miss_clustering(metrics: PatternMetrics, window: int = 2) -> float:
+    """Fraction of page switches that follow another within ``window``.
+
+    High values mean misses collide in time (all banks crossing a tile
+    boundary together); the paper's optimization 3 pushes this down.
+    """
+    total = sum(metrics.miss_gap_histogram.values())
+    if total == 0:
+        return 0.0
+    clustered = sum(
+        count for gap, count in metrics.miss_gap_histogram.items() if gap <= window
+    )
+    return clustered / total

@@ -1,0 +1,78 @@
+"""Common interface for interleaver-to-DRAM address mappings.
+
+A mapping assigns every cell ``(i, j)`` of an interleaver index space
+(one cell = one DRAM burst) a physical :class:`~repro.dram.address.DramAddress`.
+Mappings must be *injective* over the index space — two cells may never
+share a (bank, row, column) triple — which is property-tested in
+``tests/mapping``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Tuple
+
+from repro.dram.address import DramAddress
+from repro.dram.geometry import Geometry
+
+#: The (bank, row, column) tuples the controller consumes.
+AddressTuple = Tuple[int, int, int]
+
+
+class InterleaverMapping(abc.ABC):
+    """Maps a 2-D interleaver index space onto one DRAM channel.
+
+    Args:
+        space: index space with ``write_order`` / ``read_order``
+            iterators and a ``contains`` predicate (triangular or
+            rectangular, see :mod:`repro.interleaver.triangular`).
+        geometry: the target DRAM channel organization.
+    """
+
+    #: Short identifier used in benchmark tables.
+    name: str = "abstract"
+
+    def __init__(self, space, geometry: Geometry):
+        self.space = space
+        self.geometry = geometry
+
+    @abc.abstractmethod
+    def address_tuple(self, i: int, j: int) -> AddressTuple:
+        """Physical ``(bank, row, column)`` of cell ``(i, j)``."""
+
+    def address_of(self, i: int, j: int) -> DramAddress:
+        """Physical address of cell ``(i, j)`` as a :class:`DramAddress`."""
+        bank, row, column = self.address_tuple(i, j)
+        return DramAddress(bank=bank, row=row, column=column)
+
+    def write_addresses(self) -> Iterator[AddressTuple]:
+        """Addresses in write (row-wise) order."""
+        address_tuple = self.address_tuple
+        for i, j in self.space.write_order():
+            yield address_tuple(i, j)
+
+    def read_addresses(self) -> Iterator[AddressTuple]:
+        """Addresses in read (column-wise) order."""
+        address_tuple = self.address_tuple
+        for i, j in self.space.read_order():
+            yield address_tuple(i, j)
+
+    def rows_used(self) -> int:
+        """Upper bound on distinct DRAM row indices the mapping uses.
+
+        Subclasses override with exact values; used for capacity checks
+        and the storage-efficiency analysis (paper, footnote 1).
+        """
+        return self.geometry.rows
+
+    def check_capacity(self) -> None:
+        """Raise :class:`ValueError` if the mapping exceeds the device.
+
+        Checks that the row index space fits; full injectivity is
+        checked by :func:`repro.mapping.validate.validate_mapping`.
+        """
+        if self.rows_used() > self.geometry.rows:
+            raise ValueError(
+                f"{self.name} mapping needs {self.rows_used()} rows but the device "
+                f"has only {self.geometry.rows}"
+            )

@@ -1,0 +1,280 @@
+"""The paper's optimized interleaver-to-DRAM mapping (Section II).
+
+Combines the three optimizations of the paper, each individually
+toggleable so the ablation benchmarks can quantify its contribution:
+
+1. **Diagonal bank rotation** (Fig. 1a): ``bank = (i + j) mod B``.
+   Every access — in row-wise *and* column-wise traversal — moves to
+   the next flat bank index.  Because the low bank bits select the
+   bank group (Sec. II convention), this alternates bank groups in
+   round-robin order, so consecutive CAS commands are spaced by
+   ``tCCD_S`` instead of ``tCCD_L``, and row activations distribute
+   over all banks.
+
+2. **Rectangular page tiling** (Fig. 1b): the index space is cut into
+   ``tile_h x tile_w`` rectangles with ``tile_h * tile_w = B * P``
+   (``P`` = bursts per page), so each tile contains exactly one page
+   worth of cells *per bank*.  A bank then gets ``tile_w / B``
+   consecutive same-page accesses in a row-wise sweep and
+   ``tile_h / B`` in a column-wise sweep — the page misses are split
+   between the two directions instead of all landing on the read
+   phase.
+
+3. **Bank-staggered column offset** (Fig. 1c → 1d): without it, all
+   banks cross a tile boundary within the same few accesses and their
+   page misses collide; the activate budget (tRRD/tFAW) then throttles
+   the burst of ACTs.  Shifting every position circularly towards the
+   top-left by a bank-dependent offset ``delta_b = b * stagger``
+   spreads the misses of the ``B`` banks evenly across the tile
+   period.  The shift applies to the *row/column assignment only*; the
+   bank of a cell stays defined by its original position, which keeps
+   the per-bank address sets disjoint (proof sketch in
+   :func:`OptimizedMapping.address_tuple`).
+
+The mapping uses only additions, comparisons, shifts and masks when the
+tile dimensions are powers of two — the low-complexity hardware
+property claimed by the paper.
+
+Storage layout: tile ``(ti, tj)`` owns DRAM row ``ti * tiles_x + tj``
+in *every* bank.  For a triangular index space the default rectangular
+allocation wastes the rows of the empty lower-right half; passing
+``compact_rows=True`` renumbers only the tiles actually touched
+(paper, footnote 1) at the cost of a one-time scan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.dram.geometry import Geometry
+from repro.mapping.base import AddressTuple, InterleaverMapping
+from repro.mapping.tiling import TileGeometry, balanced_tile, row_strip_tile, tiles_covering
+
+
+def _single_bank_tile(bursts_per_page: int) -> Tuple[int, int]:
+    """Balanced tile dimensions for the no-rotation ablation.
+
+    Without the diagonal bank rotation a whole tile belongs to one bank,
+    so the tile holds exactly one page: ``tile_h * tile_w = P`` with the
+    two middle powers of two.
+    """
+    bits = bursts_per_page.bit_length() - 1
+    h_bits = (bits + 1) // 2
+    return 1 << h_bits, 1 << (bits - h_bits)
+
+
+class OptimizedMapping(InterleaverMapping):
+    """The paper's mapping with per-optimization ablation switches.
+
+    Args:
+        space: interleaver index space (triangular or rectangular).
+        geometry: target DRAM channel organization.
+        enable_bank_rotation: optimization 1 (diagonal banks).  When
+            disabled, banks are assigned per *tile* diagonally, so
+            consecutive accesses stay on one bank/bank group.
+        enable_tiling: optimization 2 (rectangular page tiles).  When
+            disabled, a degenerate one-row-tall strip tile is used:
+            row-wise sweeps get maximal page runs, column-wise sweeps
+            miss on every access (the SRAM-style failure mode).
+        enable_offset: optimization 3 (bank-staggered circular shift).
+        prefer_tall: give the column-wise (read) direction the longer
+            page runs when the balanced tile cannot be square.
+        compact_rows: renumber DRAM rows over the tiles actually used
+            by the (triangular) index space instead of the bounding
+            box.
+    """
+
+    name = "optimized"
+
+    def __init__(
+        self,
+        space,
+        geometry: Geometry,
+        *,
+        enable_bank_rotation: bool = True,
+        enable_tiling: bool = True,
+        enable_offset: bool = True,
+        prefer_tall: bool = True,
+        compact_rows: bool = False,
+    ):
+        super().__init__(space, geometry)
+        self.enable_bank_rotation = enable_bank_rotation
+        self.enable_tiling = enable_tiling
+        self.enable_offset = enable_offset
+
+        banks = geometry.banks
+        page = geometry.bursts_per_row
+        if enable_bank_rotation:
+            if enable_tiling:
+                self.tile: Optional[TileGeometry] = balanced_tile(geometry, prefer_tall)
+            else:
+                self.tile = row_strip_tile(geometry)
+            self._tile_h = self.tile.tile_h
+            self._tile_w = self.tile.tile_w
+        else:
+            self.tile = None
+            if enable_tiling:
+                self._tile_h, self._tile_w = _single_bank_tile(page)
+            else:
+                self._tile_h, self._tile_w = 1, page
+
+        self._banks = banks
+        self._page = page
+        self._wpb = max(1, self._tile_w // banks)  # class cells per tile row
+        self._h_pad = tiles_covering(space.height, self._tile_h) * self._tile_h
+        self._w_pad = tiles_covering(space.width, self._tile_w) * self._tile_w
+        self._tiles_x = self._w_pad // self._tile_w
+        self._tiles_y = self._h_pad // self._tile_h
+
+        if enable_offset:
+            # Per-axis stagger: bank b's tile-boundary crossings shift
+            # by b/B of the tile period in *each* direction, so page
+            # misses spread uniformly over the whole period of both the
+            # row-wise and the column-wise sweep even for non-square
+            # tiles.  (A purely diagonal shift, as drawn in Fig. 1d for
+            # a square example, bunches the misses of a non-square tile
+            # into half the period of its longer side.)
+            row_step = max(1, self._tile_h // banks)
+            col_step = max(1, self._tile_w // banks)
+            self._offsets = [(b * row_step, b * col_step) for b in range(banks)]
+        else:
+            self._offsets = [(0, 0)] * banks
+
+        self._row_table: Optional[Dict[int, int]] = None
+        if compact_rows:
+            self._row_table = self._build_compact_rows()
+        self.check_capacity()
+
+    # -- public helpers -------------------------------------------------
+
+    @property
+    def tile_shape(self) -> Tuple[int, int]:
+        """``(tile_h, tile_w)`` actually in use (after ablation switches)."""
+        return self._tile_h, self._tile_w
+
+    @property
+    def stagger_step(self) -> Tuple[int, int]:
+        """Per-bank ``(row, column)`` offset increment ((0, 0) when disabled)."""
+        if not self.enable_offset or self._banks < 2:
+            return (0, 0)
+        return self._offsets[1]
+
+    def rows_used(self) -> int:
+        if self._row_table is not None:
+            return len(self._row_table)
+        return self._tiles_x * self._tiles_y
+
+    def storage_efficiency(self) -> float:
+        """Fraction of allocated page capacity holding real cells.
+
+        Rectangular allocation of a triangular space wastes nearly half
+        the rows; ``compact_rows`` recovers most of it (footnote 1).
+        """
+        allocated = self.rows_used() * self._banks * self._page
+        if allocated == 0:
+            return 0.0
+        return self.space.num_elements / allocated
+
+    # -- the mapping ------------------------------------------------------
+
+    def bank_of(self, i: int, j: int) -> int:
+        """Bank assignment before the row/column computation."""
+        if self.enable_bank_rotation:
+            return (i + j) % self._banks
+        return (i // self._tile_h + j // self._tile_w) % self._banks
+
+    def address_tuple(self, i: int, j: int) -> AddressTuple:
+        if not self.space.contains(i, j):
+            raise ValueError(f"({i}, {j}) outside the index space")
+        banks = self._banks
+        tile_h = self._tile_h
+        tile_w = self._tile_w
+
+        if self.enable_bank_rotation:
+            bank = (i + j) % banks
+        else:
+            bank = (i // tile_h + j // tile_w) % banks
+
+        # Circular shift towards the top-left: the address of (i, j) is
+        # the base row/column of the shifted position.  Injectivity per
+        # bank: the shift is a fixed translation for a fixed bank, so
+        # shifted positions of one bank are distinct and all lie on one
+        # diagonal class c = (i + j + dr_b + dc_b) mod B; the base
+        # mapping is injective on each class (distinct tiles -> distinct
+        # rows, distinct in-tile class cells -> distinct columns).
+        # Cells of *different* banks may share (row, column) — they
+        # differ in the bank field, which is part of the physical
+        # address.
+        delta_row, delta_col = self._offsets[bank]
+        si = (i + delta_row) % self._h_pad
+        sj = (j + delta_col) % self._w_pad
+
+        ti, li = divmod(si, tile_h)
+        tj, lj = divmod(sj, tile_w)
+
+        if self.enable_bank_rotation:
+            # Column = rank of (li, lj) among the cells of its diagonal
+            # class within the tile.  Class cells sit every B columns of
+            # a tile row (tile_w is a multiple of B), so the in-row rank
+            # is lj // B and each of the wpb ranks repeats once per row.
+            column = li * self._wpb + lj // banks
+        else:
+            column = li * tile_w + lj
+
+        tile_id = ti * self._tiles_x + tj
+        if self._row_table is not None:
+            row = self._row_table[tile_id]
+        else:
+            row = tile_id
+        return bank, row, column
+
+    # -- traversal fast paths ---------------------------------------------
+
+    def write_addresses(self) -> Iterator[AddressTuple]:
+        address_tuple = self.address_tuple
+        for i, j in self.space.write_order():
+            yield address_tuple(i, j)
+
+    def read_addresses(self) -> Iterator[AddressTuple]:
+        address_tuple = self.address_tuple
+        for i, j in self.space.read_order():
+            yield address_tuple(i, j)
+
+    # -- internals -----------------------------------------------------------
+
+    def _build_compact_rows(self) -> Dict[int, int]:
+        """Scan the index space and renumber only the tiles in use.
+
+        Uses numpy when available to keep paper-scale spaces (12.5 M
+        cells) tractable; falls back to a pure-Python scan.
+        """
+        used = set()
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - numpy is a dependency
+            np = None
+        space = self.space
+        if np is not None and hasattr(space, "height"):
+            tile_h = self._tile_h
+            tile_w = self._tile_w
+            tiles_x = self._tiles_x
+            delta_rows = np.asarray([d[0] for d in self._offsets], dtype=np.int64)
+            delta_cols = np.asarray([d[1] for d in self._offsets], dtype=np.int64)
+            for i in range(space.height):
+                length = space.row_length(i)
+                j = np.arange(length, dtype=np.int64)
+                if self.enable_bank_rotation:
+                    bank = (i + j) % self._banks
+                else:
+                    bank = (i // tile_h + j // tile_w) % self._banks
+                si = (i + delta_rows[bank]) % self._h_pad
+                sj = (j + delta_cols[bank]) % self._w_pad
+                tiles = (si // tile_h) * tiles_x + sj // tile_w
+                used.update(np.unique(tiles).tolist())
+        else:  # pragma: no cover - exercised only without numpy
+            for i, j in space.write_order():
+                delta_row, delta_col = self._offsets[self.bank_of(i, j)]
+                si = (i + delta_row) % self._h_pad
+                sj = (j + delta_col) % self._w_pad
+                used.add((si // self._tile_h) * self._tiles_x + sj // self._tile_w)
+        return {tile_id: index for index, tile_id in enumerate(sorted(used))}

@@ -1,0 +1,91 @@
+"""Mapping correctness validators.
+
+A mapping is usable only if it is *injective* (no two cells share a
+physical address) and every address fits the device geometry.  These
+checks are exhaustive and therefore meant for tests and small spaces;
+the structural properties they verify are argued analytically in the
+mapping docstrings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.mapping.base import InterleaverMapping
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_mapping`.
+
+    Attributes:
+        cells: number of cells checked.
+        collisions: list of ``((i1, j1), (i2, j2), address)`` triples
+            that mapped to the same physical address.
+        out_of_range: cells whose address exceeds the geometry.
+        rows_used: number of distinct DRAM rows referenced.
+        banks_used: number of distinct banks referenced.
+    """
+
+    cells: int = 0
+    collisions: List[Tuple[Tuple[int, int], Tuple[int, int], Tuple[int, int, int]]] = field(
+        default_factory=list
+    )
+    out_of_range: List[Tuple[int, int]] = field(default_factory=list)
+    rows_used: int = 0
+    banks_used: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.collisions and not self.out_of_range
+
+
+def validate_mapping(mapping: InterleaverMapping, max_report: int = 10) -> ValidationReport:
+    """Exhaustively check injectivity and range of a mapping.
+
+    Args:
+        mapping: the mapping to check (its whole index space is
+            enumerated — use small spaces).
+        max_report: cap on recorded offending cells.
+    """
+    geometry = mapping.geometry
+    banks = geometry.banks
+    rows = geometry.rows
+    columns = geometry.bursts_per_row
+    seen: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+    report = ValidationReport()
+    rows_seen = set()
+    banks_seen = set()
+    for i, j in mapping.space.write_order():
+        address = mapping.address_tuple(i, j)
+        bank, row, column = address
+        report.cells += 1
+        if not (0 <= bank < banks and 0 <= row < rows and 0 <= column < columns):
+            if len(report.out_of_range) < max_report:
+                report.out_of_range.append((i, j))
+            continue
+        rows_seen.add(row)
+        banks_seen.add(bank)
+        previous = seen.get(address)
+        if previous is not None:
+            if len(report.collisions) < max_report:
+                report.collisions.append((previous, (i, j), address))
+        else:
+            seen[address] = (i, j)
+    report.rows_used = len(rows_seen)
+    report.banks_used = len(banks_seen)
+    return report
+
+
+def assert_valid(mapping: InterleaverMapping) -> ValidationReport:
+    """Validate and raise :class:`AssertionError` on any violation."""
+    report = validate_mapping(mapping)
+    if report.out_of_range:
+        raise AssertionError(f"{mapping.name}: addresses out of range at {report.out_of_range}")
+    if report.collisions:
+        first = report.collisions[0]
+        raise AssertionError(
+            f"{mapping.name}: cells {first[0]} and {first[1]} collide on address {first[2]}"
+        )
+    return report

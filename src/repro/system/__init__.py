@@ -1,0 +1,36 @@
+"""System-level evaluation: downlink simulation, throughput, sweeps."""
+
+from repro.system.downlink import DownlinkResult, OpticalDownlink
+from repro.system.sweep import (
+    SizeSweepPoint,
+    Table1Row,
+    ablation_factories,
+    default_mappings,
+    format_table1,
+    run_table1,
+    sweep_sizes,
+)
+from repro.system.throughput import (
+    ProvisioningChoice,
+    ThroughputReport,
+    provision,
+    required_channels,
+    throughput_report,
+)
+
+__all__ = [
+    "DownlinkResult",
+    "OpticalDownlink",
+    "ProvisioningChoice",
+    "SizeSweepPoint",
+    "Table1Row",
+    "ThroughputReport",
+    "ablation_factories",
+    "default_mappings",
+    "format_table1",
+    "provision",
+    "required_channels",
+    "run_table1",
+    "sweep_sizes",
+    "throughput_report",
+]

@@ -1,0 +1,145 @@
+"""End-to-end optical LEO downlink simulation (the paper's Sec. I context).
+
+Pipeline per frame::
+
+    payload symbols
+      -> two-stage interleaver (SRAM block + triangular DRAM stage)
+      -> Gilbert-Elliott burst channel
+      -> deinterleaver
+      -> bounded-distance decoder (t symbol errors per code word)
+
+The simulation demonstrates the interleaver's purpose: at the same
+average symbol error rate, the burst channel destroys many code words
+when symbols are transmitted in order, while the triangular interleaver
+spreads each fade over many code words and keeps the per-word error
+count below the correction radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.burst_stats import BurstProfile, burst_profile, errors_per_codeword
+from repro.channel.codeword import CodewordConfig, DecodingReport, decode_mask
+from repro.channel.gilbert_elliott import GilbertElliottChannel, GilbertElliottParams
+from repro.interleaver.two_stage import TwoStageConfig, TwoStageInterleaver
+
+
+@dataclass(frozen=True)
+class DownlinkResult:
+    """Per-run comparison of interleaved vs. uninterleaved transmission.
+
+    Attributes:
+        channel_profile: burstiness of the raw channel mask.
+        interleaved: decoding outcome with the two-stage interleaver.
+        baseline: decoding outcome without any interleaving.
+        max_errors_interleaved: worst per-code-word error count with
+            interleaving.
+        max_errors_baseline: worst per-code-word error count without.
+    """
+
+    channel_profile: BurstProfile
+    interleaved: DecodingReport
+    baseline: DecodingReport
+    max_errors_interleaved: int
+    max_errors_baseline: int
+
+    @property
+    def gain(self) -> float:
+        """Code-word failure-rate ratio baseline / interleaved."""
+        if self.interleaved.codeword_error_rate == 0.0:
+            if self.baseline.codeword_error_rate == 0.0:
+                return 1.0
+            return float("inf")
+        return self.baseline.codeword_error_rate / self.interleaved.codeword_error_rate
+
+
+class OpticalDownlink:
+    """Frame-based downlink simulator.
+
+    Args:
+        interleaver_config: two-stage interleaver dimensions.
+        code: code-word length and correction radius.
+        channel_params: Gilbert–Elliott fade statistics.
+        rng: optional generator for reproducible runs.
+    """
+
+    def __init__(
+        self,
+        interleaver_config: TwoStageConfig,
+        code: CodewordConfig,
+        channel_params: GilbertElliottParams,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if interleaver_config.codeword_symbols != code.n_symbols:
+            raise ValueError(
+                "interleaver grouping and code length disagree: "
+                f"{interleaver_config.codeword_symbols} vs {code.n_symbols}"
+            )
+        self.interleaver = TwoStageInterleaver(interleaver_config)
+        self.code = code
+        self.channel = GilbertElliottChannel(channel_params, rng)
+
+    def run_frame(self) -> DownlinkResult:
+        """Transmit one frame and compare with the uninterleaved baseline.
+
+        Error propagation is tracked through the permutation directly
+        (a mask permutes exactly like the payload), so the result is
+        exact for any symbol alphabet.
+        """
+        frame_symbols = self.interleaver.frame_symbols
+        channel_mask = self.channel.error_mask(frame_symbols)
+
+        # Interleaved path: the transmitted stream is a permutation of
+        # the payload; the channel corrupts transmit positions, and the
+        # receiver's deinterleaver maps the mask back to payload order.
+        mask_int = channel_mask.astype(np.uint8)
+        payload_order_mask = self.interleaver.deinterleave(mask_int).astype(bool)
+        interleaved = decode_mask(payload_order_mask, self.code)
+
+        # Baseline: payload transmitted in order.
+        baseline = decode_mask(channel_mask, self.code)
+
+        per_word_int = errors_per_codeword(payload_order_mask, self.code.n_symbols)
+        per_word_base = errors_per_codeword(channel_mask, self.code.n_symbols)
+        return DownlinkResult(
+            channel_profile=burst_profile(channel_mask),
+            interleaved=interleaved,
+            baseline=baseline,
+            max_errors_interleaved=int(per_word_int.max(initial=0)),
+            max_errors_baseline=int(per_word_base.max(initial=0)),
+        )
+
+    def run(self, frames: int) -> DownlinkResult:
+        """Aggregate :meth:`run_frame` over several frames."""
+        if frames < 1:
+            raise ValueError(f"frames must be >= 1, got {frames}")
+        results = [self.run_frame() for _ in range(frames)]
+        profile = BurstProfile(
+            total_symbols=sum(r.channel_profile.total_symbols for r in results),
+            error_symbols=sum(r.channel_profile.error_symbols for r in results),
+            burst_count=sum(r.channel_profile.burst_count for r in results),
+            max_burst=max(r.channel_profile.max_burst for r in results),
+            mean_burst=float(
+                np.mean([r.channel_profile.mean_burst for r in results if r.channel_profile.burst_count])
+            ) if any(r.channel_profile.burst_count for r in results) else 0.0,
+        )
+
+        def merge(reports):
+            return DecodingReport(
+                codewords=sum(r.codewords for r in reports),
+                failed=sum(r.failed for r in reports),
+                corrected_symbols=sum(r.corrected_symbols for r in reports),
+                residual_symbol_errors=sum(r.residual_symbol_errors for r in reports),
+            )
+
+        return DownlinkResult(
+            channel_profile=profile,
+            interleaved=merge([r.interleaved for r in results]),
+            baseline=merge([r.baseline for r in results]),
+            max_errors_interleaved=max(r.max_errors_interleaved for r in results),
+            max_errors_baseline=max(r.max_errors_baseline for r in results),
+        )

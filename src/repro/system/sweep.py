@@ -1,0 +1,163 @@
+"""Parameter-sweep harness used by the benchmarks.
+
+Runs (configuration x mapping) grids and interleaver-size sweeps, and
+formats results as the paper's Table I.  Everything returns plain data
+structures so benchmarks and tests can assert on them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.dram.controller import ControllerConfig
+from repro.dram.presets import TABLE1_CONFIG_NAMES, DramConfig, get_config
+from repro.dram.simulator import InterleaverSimResult, simulate_interleaver
+from repro.interleaver.triangular import TriangularIndexSpace
+from repro.mapping.base import InterleaverMapping
+from repro.mapping.optimized import OptimizedMapping
+from repro.mapping.row_major import RowMajorMapping
+
+#: Mapping factory signature: (space, geometry) -> mapping.
+MappingFactory = Callable[[TriangularIndexSpace, object], InterleaverMapping]
+
+
+def default_mappings() -> Dict[str, MappingFactory]:
+    """The two mappings of Table I."""
+    return {
+        "row-major": lambda space, geometry: RowMajorMapping(space, geometry),
+        "optimized": lambda space, geometry: OptimizedMapping(
+            space, geometry, prefer_tall=False
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table I.
+
+    Attributes:
+        config_name: DRAM configuration.
+        row_major: simulation result under the row-major mapping.
+        optimized: simulation result under the optimized mapping.
+    """
+
+    config_name: str
+    row_major: InterleaverSimResult
+    optimized: InterleaverSimResult
+
+    def cells(self) -> Tuple[float, float, float, float]:
+        """(rm write, rm read, opt write, opt read) utilizations."""
+        return (
+            self.row_major.write_utilization,
+            self.row_major.read_utilization,
+            self.optimized.write_utilization,
+            self.optimized.read_utilization,
+        )
+
+
+def run_table1(
+    n: int = 512,
+    config_names: Sequence[str] = TABLE1_CONFIG_NAMES,
+    policy: Optional[ControllerConfig] = None,
+) -> List[Table1Row]:
+    """Regenerate Table I at triangle size ``n``.
+
+    The paper uses 12.5 M elements (``n = 5000``); the default ``n=512``
+    (~131 k elements) keeps the pure-Python run in minutes while the
+    utilizations are already within a few percent of the large-size
+    values (see ``benchmarks/bench_interleaver_size.py``).
+    """
+    space = TriangularIndexSpace(n)
+    mappings = default_mappings()
+    rows = []
+    for name in config_names:
+        config = get_config(name)
+        row_major = simulate_interleaver(
+            config, mappings["row-major"](space, config.geometry), policy
+        )
+        optimized = simulate_interleaver(
+            config, mappings["optimized"](space, config.geometry), policy
+        )
+        rows.append(Table1Row(config_name=name, row_major=row_major, optimized=optimized))
+    return rows
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Render rows in the layout of the paper's Table I."""
+    lines = [
+        "DRAM           Row-Major Mapping     Optimized Mapping",
+        "Configuration  Write      Read       Write      Read",
+    ]
+    for row in rows:
+        rm_w, rm_r, opt_w, opt_r = row.cells()
+        rm_bold = min(rm_w, rm_r)
+        opt_bold = min(opt_w, opt_r)
+
+        def mark(value: float, bold: float) -> str:
+            tag = "*" if value == bold else " "
+            return f"{value:8.2%}{tag}"
+
+        lines.append(
+            f"{row.config_name:14s} {mark(rm_w, rm_bold)} {mark(rm_r, rm_bold)} "
+            f"{mark(opt_w, opt_bold)} {mark(opt_r, opt_bold)}"
+        )
+    lines.append("(* = phase that limits interleaver throughput)")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SizeSweepPoint:
+    """One (size, mapping) sample of the size sweep."""
+
+    n: int
+    elements: int
+    mapping_name: str
+    write_utilization: float
+    read_utilization: float
+
+    @property
+    def min_utilization(self) -> float:
+        return min(self.write_utilization, self.read_utilization)
+
+
+def sweep_sizes(
+    config: DramConfig,
+    sizes: Sequence[int],
+    mapping_factories: Optional[Dict[str, MappingFactory]] = None,
+    policy: Optional[ControllerConfig] = None,
+) -> List[SizeSweepPoint]:
+    """Utilization vs. interleaver dimension (paper: "differ only slightly")."""
+    factories = mapping_factories or default_mappings()
+    points = []
+    for n in sizes:
+        space = TriangularIndexSpace(n)
+        for name, factory in factories.items():
+            result = simulate_interleaver(config, factory(space, config.geometry), policy)
+            points.append(
+                SizeSweepPoint(
+                    n=n,
+                    elements=space.num_elements,
+                    mapping_name=name,
+                    write_utilization=result.write_utilization,
+                    read_utilization=result.read_utilization,
+                )
+            )
+    return points
+
+
+def ablation_factories() -> Dict[str, MappingFactory]:
+    """Optimized-mapping variants with each optimization toggled off."""
+    def make(**kwargs) -> MappingFactory:
+        return lambda space, geometry: OptimizedMapping(
+            space, geometry, prefer_tall=False, **kwargs
+        )
+
+    return {
+        "full": make(),
+        "no-bank-rotation": make(enable_bank_rotation=False),
+        "no-tiling": make(enable_tiling=False),
+        "no-offset": make(enable_offset=False),
+        "tiling-only": make(enable_bank_rotation=False, enable_offset=False),
+        "rotation-only": make(enable_tiling=False, enable_offset=False),
+    }

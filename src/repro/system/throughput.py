@@ -1,0 +1,126 @@
+"""Interleaver throughput and DRAM provisioning analysis (Sec. I & III).
+
+The interleaver continuously alternates write and read phases on the
+same device, so its sustained throughput on a DRAM channel is::
+
+    throughput = min(util_write, util_read) x peak_bandwidth / 2
+
+(the factor 2: every payload symbol crosses the DRAM bus twice, once
+written and once read).  Because the row-major mapping's read phase
+collapses on fast devices, a system architect has to *over-provision*
+the DRAM — pick a faster speed grade or a wider bus — to reach a target
+line rate; the optimized mapping removes that tax.  These helpers
+quantify exactly that argument.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.dram.presets import DramConfig
+from repro.dram.simulator import InterleaverSimResult
+from repro.units import gbit_per_s
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Sustained interleaver throughput on one configuration.
+
+    Attributes:
+        config_name: DRAM configuration.
+        mapping_name: address mapping used.
+        min_utilization: throughput-limiting phase utilization.
+        peak_bandwidth_gbit: channel peak bandwidth in Gbit/s.
+        sustained_gbit: achievable interleaver line rate in Gbit/s
+            (both phases run on one device, hence the /2).
+    """
+
+    config_name: str
+    mapping_name: str
+    min_utilization: float
+    peak_bandwidth_gbit: float
+    sustained_gbit: float
+
+    @property
+    def efficiency(self) -> float:
+        """Sustained line rate relative to the ideal device limit."""
+        return self.sustained_gbit / (self.peak_bandwidth_gbit / 2)
+
+
+def throughput_report(config: DramConfig, result: InterleaverSimResult) -> ThroughputReport:
+    """Build a :class:`ThroughputReport` from a simulation result."""
+    peak = gbit_per_s(config.peak_bandwidth_bytes_per_s)
+    min_util = result.min_utilization
+    return ThroughputReport(
+        config_name=config.name,
+        mapping_name=result.mapping_name,
+        min_utilization=min_util,
+        peak_bandwidth_gbit=peak,
+        sustained_gbit=min_util * peak / 2,
+    )
+
+
+def required_channels(report: ThroughputReport, target_gbit: float) -> int:
+    """Parallel channels of this configuration needed for a line rate."""
+    if target_gbit <= 0:
+        raise ValueError(f"target_gbit must be positive, got {target_gbit}")
+    if report.sustained_gbit <= 0:
+        raise ValueError(f"{report.config_name} sustains no throughput")
+    return max(1, math.ceil(target_gbit / report.sustained_gbit))
+
+
+@dataclass(frozen=True)
+class ProvisioningChoice:
+    """Cheapest configuration satisfying a target line rate."""
+
+    target_gbit: float
+    report: ThroughputReport
+    channels: int
+
+    @property
+    def total_peak_gbit(self) -> float:
+        """Raw bandwidth bought to reach the target (the oversizing)."""
+        return self.report.peak_bandwidth_gbit * self.channels
+
+    @property
+    def oversizing_factor(self) -> float:
+        """Bought peak bandwidth / minimum theoretically needed.
+
+        The ideal device would need ``2 x target`` peak (write + read);
+        values above that quantify the bandwidth tax of the mapping.
+        """
+        return self.total_peak_gbit / (2 * self.target_gbit)
+
+
+def provision(
+    reports: Sequence[ThroughputReport],
+    target_gbit: float,
+    max_channels: Optional[int] = None,
+) -> List[ProvisioningChoice]:
+    """Rank configurations by raw bandwidth needed for a target rate.
+
+    Args:
+        reports: one report per candidate configuration.
+        target_gbit: required interleaver line rate.
+        max_channels: optional cap on channel count per configuration.
+
+    Returns:
+        Feasible choices sorted by total peak bandwidth bought
+        (ascending, i.e. cheapest first).
+    """
+    choices = []
+    for report in reports:
+        if report.sustained_gbit <= 0:
+            continue
+        channels = max(1, math.ceil(target_gbit / report.sustained_gbit))
+        if max_channels is not None and channels > max_channels:
+            continue
+        choices.append(ProvisioningChoice(target_gbit=target_gbit, report=report,
+                                          channels=channels))
+    # Equal raw-bandwidth cost: prefer the choice with more headroom.
+    return sorted(
+        choices,
+        key=lambda c: (c.total_peak_gbit, c.channels, -c.report.sustained_gbit),
+    )

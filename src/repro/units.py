@@ -1,0 +1,121 @@
+"""Time, frequency and data-rate unit helpers.
+
+The whole simulator works on an integer *picosecond* timeline.  Integer
+picoseconds are exact for every JEDEC speed grade used in this project
+(all command clocks are integer-divisible into picoseconds at the
+resolution that matters for bandwidth accounting) and avoid the gradual
+drift that floating-point nanoseconds accumulate over millions of
+commands.
+
+Conventions used throughout the code base:
+
+* ``*_ps``  -- a duration or timestamp in picoseconds (``int``).
+* ``*_ns``  -- a duration in nanoseconds (``float``), only at API
+  boundaries and in datasheet-style preset definitions.
+* ``*_mtps`` -- a transfer rate in mega-transfers per second (``int``),
+  the usual "DDR4-3200" style figure.
+"""
+
+from __future__ import annotations
+
+PS_PER_NS = 1_000
+PS_PER_US = 1_000_000
+PS_PER_MS = 1_000_000_000
+PS_PER_S = 1_000_000_000_000
+
+
+def ns_to_ps(value_ns: float) -> int:
+    """Convert nanoseconds to integer picoseconds (round to nearest)."""
+    return round(value_ns * PS_PER_NS)
+
+
+def us_to_ps(value_us: float) -> int:
+    """Convert microseconds to integer picoseconds (round to nearest)."""
+    return round(value_us * PS_PER_US)
+
+
+def ms_to_ps(value_ms: float) -> int:
+    """Convert milliseconds to integer picoseconds (round to nearest)."""
+    return round(value_ms * PS_PER_MS)
+
+
+def ps_to_ns(value_ps: int) -> float:
+    """Convert picoseconds to nanoseconds."""
+    return value_ps / PS_PER_NS
+
+
+def clock_period_ps(data_rate_mtps: int) -> int:
+    """Command-clock period for a double-data-rate device.
+
+    A DDR device transfers two data beats per command clock, so a
+    ``DDR4-3200`` part (3200 MT/s) runs a 1600 MHz command clock with a
+    period of 625 ps.
+
+    Args:
+        data_rate_mtps: data rate in mega-transfers per second.
+
+    Returns:
+        The command-clock period in picoseconds.
+    """
+    if data_rate_mtps <= 0:
+        raise ValueError(f"data rate must be positive, got {data_rate_mtps}")
+    # period = 1 / (rate/2 transfers per second) = 2e12 ps / rate_mtps*1e6
+    return round(2 * PS_PER_S / (data_rate_mtps * 1_000_000))
+
+
+def beat_period_ps(data_rate_mtps: int) -> float:
+    """Duration of a single data beat (one transfer) in picoseconds."""
+    if data_rate_mtps <= 0:
+        raise ValueError(f"data rate must be positive, got {data_rate_mtps}")
+    return PS_PER_S / (data_rate_mtps * 1_000_000)
+
+
+def burst_duration_ps(data_rate_mtps: int, burst_length: int) -> int:
+    """Time the data bus is occupied by one burst, in picoseconds.
+
+    Args:
+        data_rate_mtps: data rate in mega-transfers per second.
+        burst_length: number of beats per burst (e.g. 8 for DDR4 BL8).
+    """
+    if burst_length <= 0:
+        raise ValueError(f"burst length must be positive, got {burst_length}")
+    return round(burst_length * beat_period_ps(data_rate_mtps))
+
+
+def peak_bandwidth_bytes_per_s(data_rate_mtps: int, bus_width_bits: int) -> float:
+    """Theoretical peak bandwidth of a channel in bytes per second."""
+    if bus_width_bits <= 0 or bus_width_bits % 8:
+        raise ValueError(f"bus width must be a positive multiple of 8, got {bus_width_bits}")
+    return data_rate_mtps * 1_000_000 * (bus_width_bits // 8)
+
+
+def gbit_per_s(bytes_per_s: float) -> float:
+    """Convert bytes per second into gigabits per second."""
+    return bytes_per_s * 8 / 1e9
+
+
+def quantize_up(time_ps: int, period_ps: int) -> int:
+    """Round ``time_ps`` up to the next multiple of ``period_ps``.
+
+    Command issue times are quantized to the command-clock grid so the
+    event-driven simulator matches a cycle-ticking simulator on command
+    placement.
+    """
+    if period_ps <= 0:
+        raise ValueError(f"period must be positive, got {period_ps}")
+    remainder = time_ps % period_ps
+    if remainder == 0:
+        return time_ps
+    return time_ps + (period_ps - remainder)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Exact integer log2; raises on non-powers of two."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1

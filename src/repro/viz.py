@@ -1,0 +1,101 @@
+"""Text rendering of mapping schemes (the paper's Fig. 1).
+
+Renders small index spaces as grids of per-cell labels so the four
+sub-figures of Fig. 1 can be regenerated and eyeballed:
+
+* 1a — bank assignment only (diagonal pattern),
+* 1b — page-tile columns,
+* 1c — full bank/column/row labels without the offset,
+* 1d — the same with the bank-staggered circular offset.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.mapping.optimized import OptimizedMapping
+
+
+def render_grid(space, label: Callable[[int, int], str], col_width: int = 0) -> str:
+    """Render ``label(i, j)`` for every cell of a 2-D index space.
+
+    Cells outside the space (the lower-right half of a triangle) are
+    left blank, matching the triangular storage array of the paper.
+    """
+    rows: List[List[str]] = []
+    width = 0
+    for i in range(space.height):
+        row = []
+        for j in range(space.width):
+            text = label(i, j) if space.contains(i, j) else ""
+            width = max(width, len(text))
+            row.append(text)
+        rows.append(row)
+    width = max(width, col_width)
+    lines = []
+    for row in rows:
+        lines.append(" ".join(text.ljust(width) for text in row).rstrip())
+    return "\n".join(lines)
+
+
+def render_banks(mapping: OptimizedMapping) -> str:
+    """Fig. 1a: the diagonal bank pattern."""
+    return render_grid(mapping.space, lambda i, j: f"B{mapping.bank_of(i, j)}")
+
+
+def render_columns(mapping: OptimizedMapping) -> str:
+    """Fig. 1b: the page-column assignment."""
+    def label(i: int, j: int) -> str:
+        _bank, _row, column = mapping.address_tuple(i, j)
+        return f"C{column}"
+
+    return render_grid(mapping.space, label)
+
+
+def render_full(mapping: OptimizedMapping) -> str:
+    """Fig. 1c / 1d: bank, column and row of every cell."""
+    def label(i: int, j: int) -> str:
+        bank, row, column = mapping.address_tuple(i, j)
+        return f"B{bank}C{column}R{row}"
+
+    return render_grid(mapping.space, label)
+
+
+def render_figure1(space, geometry, prefer_tall: bool = False) -> str:
+    """All four Fig. 1 panels for a small space/geometry pair."""
+    base = dict(prefer_tall=prefer_tall)
+    no_offset = OptimizedMapping(space, geometry, enable_offset=False, **base)
+    full = OptimizedMapping(space, geometry, **base)
+    sections = [
+        ("(a) Banks (diagonal rotation)", render_banks(full)),
+        ("(b) Page-tile columns", render_columns(no_offset)),
+        ("(c) Banks, Columns and Rows", render_full(no_offset)),
+        ("(d) BCR with bank-staggered offset", render_full(full)),
+    ]
+    blocks = []
+    for title, body in sections:
+        blocks.append(f"{title}\n{body}")
+    return "\n\n".join(blocks)
+
+
+def utilization_bar(value: float, width: int = 40) -> str:
+    """ASCII bar for utilization tables (benchmark output)."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"utilization must be in [0, 1], got {value}")
+    filled = round(value * width)
+    return "#" * filled + "-" * (width - filled)
+
+
+def side_by_side(blocks: Sequence[str], gap: int = 4) -> str:
+    """Join multi-line blocks horizontally (small layout helper)."""
+    split = [block.splitlines() for block in blocks]
+    height = max(len(lines) for lines in split)
+    widths = [max((len(line) for line in lines), default=0) for lines in split]
+    out = []
+    for row in range(height):
+        parts = []
+        for lines, width in zip(split, widths):
+            text = lines[row] if row < len(lines) else ""
+            parts.append(text.ljust(width))
+        out.append((" " * gap).join(parts).rstrip())
+    return "\n".join(out)

@@ -1,0 +1,71 @@
+"""Code-word model and bounded-distance decoding."""
+
+import numpy as np
+import pytest
+
+from repro.channel.codeword import (
+    CodewordConfig,
+    decode_mask,
+    random_burst_tolerance,
+)
+
+
+class TestConfig:
+    def test_valid(self):
+        config = CodewordConfig(n_symbols=255, t_correctable=16)
+        assert config.correction_fraction == pytest.approx(16 / 255)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            CodewordConfig(n_symbols=0, t_correctable=0)
+
+    def test_rejects_t_out_of_range(self):
+        with pytest.raises(ValueError):
+            CodewordConfig(n_symbols=10, t_correctable=10)
+        with pytest.raises(ValueError):
+            CodewordConfig(n_symbols=10, t_correctable=-1)
+
+
+class TestDecode:
+    def test_clean_mask(self):
+        config = CodewordConfig(8, 2)
+        report = decode_mask(np.zeros(32, dtype=bool), config)
+        assert report.codewords == 4
+        assert report.failed == 0
+        assert report.frame_ok
+        assert report.codeword_error_rate == 0.0
+
+    def test_correctable_errors(self):
+        config = CodewordConfig(8, 2)
+        mask = np.zeros(16, dtype=bool)
+        mask[[0, 3, 9]] = True  # 2 errors in word 0, 1 in word 1
+        report = decode_mask(mask, config)
+        assert report.failed == 0
+        assert report.corrected_symbols == 3
+        assert report.residual_symbol_errors == 0
+
+    def test_uncorrectable_word(self):
+        config = CodewordConfig(8, 2)
+        mask = np.zeros(16, dtype=bool)
+        mask[0:4] = True  # 4 errors in word 0
+        report = decode_mask(mask, config)
+        assert report.failed == 1
+        assert report.codeword_error_rate == 0.5
+        assert report.residual_symbol_errors == 4
+        assert not report.frame_ok
+
+    def test_empty_mask(self):
+        report = decode_mask(np.zeros(0, dtype=bool), CodewordConfig(8, 2))
+        assert report.codewords == 0
+        assert report.codeword_error_rate == 0.0
+
+
+class TestBurstTolerance:
+    def test_scales_with_depth(self):
+        config = CodewordConfig(255, 16)
+        assert random_burst_tolerance(config, 1) == 16
+        assert random_burst_tolerance(config, 1000) == 16_000
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            random_burst_tolerance(CodewordConfig(8, 2), 0)

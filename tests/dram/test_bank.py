@@ -1,0 +1,52 @@
+"""Bank snapshots and access classification."""
+
+from repro.dram.bank import PAGE_EMPTY, PAGE_HIT, PAGE_MISS, BankSnapshot, classify_access
+from repro.dram.controller import OP_READ, ControllerConfig, MemoryController
+
+
+class TestClassify:
+    def test_empty(self):
+        assert classify_access(None, 5) == PAGE_EMPTY
+
+    def test_hit(self):
+        assert classify_access(5, 5) == PAGE_HIT
+
+    def test_miss(self):
+        assert classify_access(4, 5) == PAGE_MISS
+
+    def test_row_zero_is_not_none(self):
+        assert classify_access(0, 0) == PAGE_HIT
+        assert classify_access(0, 1) == PAGE_MISS
+
+
+class TestSnapshot:
+    def test_initial_state(self, tiny_config):
+        controller = MemoryController(tiny_config)
+        snap = controller.bank_snapshot(0)
+        assert snap.open_row is None
+        assert snap.bank == 0
+        assert snap.cas_allowed_ps == 0
+
+    def test_after_access(self, tiny_config):
+        controller = MemoryController(tiny_config, ControllerConfig(refresh_enabled=False))
+        controller.run_phase([(2, 7, 3)], OP_READ)
+        snap = controller.bank_snapshot(2)
+        assert snap.open_row == 7
+        assert snap.act_time_ps == 0
+        assert snap.cas_allowed_ps == tiny_config.timing.trcd
+        assert snap.pre_allowed_ps >= tiny_config.timing.tras
+
+    def test_untouched_bank_unchanged(self, tiny_config):
+        controller = MemoryController(tiny_config, ControllerConfig(refresh_enabled=False))
+        controller.run_phase([(2, 7, 3)], OP_READ)
+        assert controller.bank_snapshot(0).open_row is None
+
+    def test_snapshot_is_frozen(self, tiny_config):
+        snap = BankSnapshot(bank=0, open_row=None, act_time_ps=0,
+                            cas_allowed_ps=0, pre_allowed_ps=0, act_allowed_ps=0)
+        try:
+            snap.open_row = 3
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

@@ -1,0 +1,117 @@
+"""Command-level energy model."""
+
+import pytest
+
+from repro.dram.energy import (
+    EnergyParams,
+    energy_params_for,
+    interleaver_energy,
+    phase_energy,
+)
+from repro.dram.presets import get_config
+from repro.dram.simulator import simulate_interleaver
+from repro.dram.stats import PhaseStats
+from repro.interleaver.triangular import TriangularIndexSpace
+from repro.mapping.optimized import OptimizedMapping
+from repro.mapping.row_major import RowMajorMapping
+
+
+def _stats(requests=1000, activates=50, refreshes=2, makespan_ps=10**9):
+    return PhaseStats(requests=requests, activates=activates,
+                      refreshes=refreshes, makespan_ps=makespan_ps,
+                      data_time_ps=requests * 2500)
+
+
+class TestParams:
+    def test_all_families_covered(self, any_config):
+        params = energy_params_for(any_config)
+        assert params.e_act_pre_pj > 0
+
+    def test_unknown_family_raises(self, tiny_config):
+        with pytest.raises(KeyError, match="TINY"):
+            energy_params_for(tiny_config)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EnergyParams(-1, 1, 1, 1, 1)
+
+    def test_lpddr_cheaper_than_ddr(self):
+        ddr4 = energy_params_for(get_config("DDR4-3200"))
+        lp4 = energy_params_for(get_config("LPDDR4-4266"))
+        assert lp4.e_rd_pj < ddr4.e_rd_pj
+        assert lp4.p_background_mw < ddr4.p_background_mw
+
+
+class TestPhaseEnergy:
+    def test_breakdown_sums(self):
+        config = get_config("DDR4-3200")
+        report = phase_energy(config, _stats(), "RD")
+        assert report.total_nj == pytest.approx(
+            report.activation_nj + report.burst_nj
+            + report.refresh_nj + report.background_nj
+        )
+
+    def test_linear_in_commands(self):
+        config = get_config("DDR4-3200")
+        single = phase_energy(config, _stats(activates=1, requests=0,
+                                             refreshes=0, makespan_ps=0), "RD")
+        double = phase_energy(config, _stats(activates=2, requests=0,
+                                             refreshes=0, makespan_ps=0), "RD")
+        assert double.activation_nj == pytest.approx(2 * single.activation_nj)
+
+    def test_write_and_read_burst_energies_differ(self):
+        config = get_config("DDR4-3200")
+        rd = phase_energy(config, _stats(activates=0, refreshes=0), "RD")
+        wr = phase_energy(config, _stats(activates=0, refreshes=0), "WR")
+        assert wr.burst_nj != rd.burst_nj
+
+    def test_rejects_bad_op(self):
+        with pytest.raises(ValueError):
+            phase_energy(get_config("DDR4-3200"), _stats(), "RMW")
+
+    def test_pj_per_bit(self):
+        config = get_config("DDR4-3200")
+        report = phase_energy(config, _stats(), "RD")
+        bits = _stats().requests * config.geometry.burst_bytes * 8
+        assert report.pj_per_bit == pytest.approx(report.total_nj * 1000 / bits)
+
+    def test_empty_phase_zero_per_bit(self):
+        config = get_config("DDR4-3200")
+        report = phase_energy(config, PhaseStats(), "RD")
+        assert report.pj_per_bit == 0.0
+        assert report.activation_share == 0.0
+
+    def test_custom_params_override(self):
+        config = get_config("DDR4-3200")
+        params = EnergyParams(1000.0, 0.0, 0.0, 0.0, 0.0)
+        report = phase_energy(config, _stats(activates=10), "RD", params)
+        assert report.total_nj == pytest.approx(10.0)
+
+
+class TestMappingComparison:
+    """The energy argument: row thrashing costs activation energy."""
+
+    @pytest.fixture(scope="class")
+    def energies(self):
+        config = get_config("LPDDR4-4266")
+        space = TriangularIndexSpace(256)
+        out = {}
+        for mapping in (RowMajorMapping(space, config.geometry),
+                        OptimizedMapping(space, config.geometry, prefer_tall=False)):
+            result = simulate_interleaver(config, mapping)
+            out[mapping.name] = interleaver_energy(config, result.write, result.read)
+        return out
+
+    def test_row_major_pays_more_activation_energy(self, energies):
+        assert (energies["row-major"].activation_nj
+                > 1.3 * energies["optimized"].activation_nj)
+
+    def test_row_major_higher_energy_per_bit(self, energies):
+        assert energies["row-major"].pj_per_bit > energies["optimized"].pj_per_bit
+
+    def test_combined_counts_payload_once(self, energies):
+        report = energies["optimized"]
+        # payload bytes = one frame of bursts (written once, read once)
+        space = TriangularIndexSpace(256)
+        config = get_config("LPDDR4-4266")
+        assert report.payload_bytes == space.num_elements * config.geometry.burst_bytes

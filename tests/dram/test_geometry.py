@@ -1,0 +1,79 @@
+"""Channel geometry arithmetic."""
+
+import pytest
+
+from repro.dram.geometry import Geometry
+
+
+class TestConstruction:
+    def test_valid(self, tiny_geometry):
+        assert tiny_geometry.banks == 4
+
+    def test_rejects_non_power_of_two_banks(self):
+        with pytest.raises(ValueError):
+            Geometry(bank_groups=3, banks_per_group=2, rows=16, columns=64,
+                     bus_width_bits=64, burst_length=8)
+
+    def test_rejects_bad_bus_width(self):
+        with pytest.raises(ValueError):
+            Geometry(bank_groups=2, banks_per_group=2, rows=16, columns=64,
+                     bus_width_bits=12, burst_length=8)
+
+    def test_rejects_row_smaller_than_burst(self):
+        with pytest.raises(ValueError):
+            Geometry(bank_groups=2, banks_per_group=2, rows=16, columns=4,
+                     bus_width_bits=64, burst_length=8)
+
+
+class TestDerived:
+    def test_burst_bytes(self, tiny_geometry):
+        assert tiny_geometry.burst_bytes == 64  # 8 B bus x BL8
+
+    def test_row_bytes(self, tiny_geometry):
+        assert tiny_geometry.row_bytes == 512
+
+    def test_bursts_per_row(self, tiny_geometry):
+        assert tiny_geometry.bursts_per_row == 8
+
+    def test_total_bursts(self, tiny_geometry):
+        assert tiny_geometry.total_bursts == 4 * 16 * 8
+
+    def test_capacity(self, tiny_geometry):
+        assert tiny_geometry.capacity_bytes == tiny_geometry.total_bursts * 64
+
+    def test_bit_widths(self, tiny_geometry):
+        assert tiny_geometry.bank_bits == 2
+        assert tiny_geometry.bank_group_bits == 1
+        assert tiny_geometry.row_bits == 4
+        assert tiny_geometry.column_burst_bits == 3
+
+
+class TestBankGroupConvention:
+    """The low bank bits must select the bank group (paper Sec. II)."""
+
+    def test_bank_group_is_low_bits(self, tiny_geometry):
+        assert tiny_geometry.bank_group_of(0) == 0
+        assert tiny_geometry.bank_group_of(1) == 1
+        assert tiny_geometry.bank_group_of(2) == 0
+        assert tiny_geometry.bank_group_of(3) == 1
+
+    def test_increment_always_switches_group(self, tiny_geometry):
+        for bank in range(tiny_geometry.banks - 1):
+            assert (tiny_geometry.bank_group_of(bank)
+                    != tiny_geometry.bank_group_of(bank + 1))
+
+    def test_bank_in_group(self, tiny_geometry):
+        assert tiny_geometry.bank_in_group_of(0) == 0
+        assert tiny_geometry.bank_in_group_of(3) == 1
+
+    def test_rejects_out_of_range(self, tiny_geometry):
+        with pytest.raises(ValueError):
+            tiny_geometry.bank_group_of(4)
+        with pytest.raises(ValueError):
+            tiny_geometry.bank_in_group_of(-1)
+
+    def test_no_bank_groups_degenerates(self):
+        geometry = Geometry(bank_groups=1, banks_per_group=8, rows=16,
+                            columns=64, bus_width_bits=16, burst_length=16)
+        assert all(geometry.bank_group_of(b) == 0 for b in range(8))
+        assert [geometry.bank_in_group_of(b) for b in range(8)] == list(range(8))

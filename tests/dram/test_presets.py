@@ -1,0 +1,139 @@
+"""The ten Table I configurations."""
+
+import pytest
+
+from repro.dram.presets import (
+    REFRESH_ALL_BANK,
+    REFRESH_PER_BANK,
+    TABLE1_CONFIG_NAMES,
+    all_configs,
+    get_config,
+)
+from repro.units import gbit_per_s
+
+
+class TestRegistry:
+    def test_ten_configs(self):
+        assert len(TABLE1_CONFIG_NAMES) == 10
+
+    def test_paper_order(self):
+        assert TABLE1_CONFIG_NAMES == (
+            "DDR3-800", "DDR3-1600", "DDR4-1600", "DDR4-3200",
+            "DDR5-3200", "DDR5-6400", "LPDDR4-2133", "LPDDR4-4266",
+            "LPDDR5-4267", "LPDDR5-8533",
+        )
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown DRAM configuration"):
+            get_config("DDR2-400")
+
+    def test_all_configs_match_names(self):
+        assert tuple(c.name for c in all_configs()) == TABLE1_CONFIG_NAMES
+
+
+class TestPerConfigSanity:
+    def test_name_embeds_rate(self, any_config):
+        assert str(any_config.data_rate_mtps) in any_config.name
+
+    def test_family_prefix(self, any_config):
+        assert any_config.name.startswith(any_config.family)
+
+    def test_timing_positive(self, any_config):
+        timing = any_config.timing
+        assert timing.trcd > 0 and timing.trp > 0 and timing.tras > 0
+
+    def test_trc_realistic(self, any_config):
+        # All JEDEC row cycles are in the 40-70 ns range.
+        assert 40_000 <= any_config.timing.trc <= 70_000
+
+    def test_refresh_interval_realistic(self, any_config):
+        assert 100_000 < any_config.timing.trefi <= 8_000_000
+
+    def test_burst_duration_matches_rate(self, any_config):
+        geometry = any_config.geometry
+        expected = round(geometry.burst_length * 1e6 / any_config.data_rate_mtps)
+        assert abs(any_config.burst_duration_ps - expected) <= 1
+
+    def test_capacity_fits_paper_scale(self, any_config):
+        # 12.5 M burst elements must fit each channel (paper scale).
+        assert any_config.geometry.total_bursts >= 12_502_500
+
+    def test_per_bank_refresh_has_trfc_pb(self, any_config):
+        if any_config.refresh_mode == REFRESH_PER_BANK:
+            assert any_config.timing.trfc_pb > 0
+
+
+class TestBankGroupArchitecture:
+    def test_ddr3_has_no_groups(self):
+        assert get_config("DDR3-800").geometry.bank_groups == 1
+
+    def test_ddr4_has_four_groups(self):
+        geometry = get_config("DDR4-3200").geometry
+        assert geometry.bank_groups == 4
+        assert geometry.banks == 16
+
+    def test_ddr5_has_eight_groups(self):
+        geometry = get_config("DDR5-3200").geometry
+        assert geometry.bank_groups == 8
+        assert geometry.banks == 32
+
+    def test_lpddr4_has_no_groups(self):
+        assert get_config("LPDDR4-2133").geometry.bank_groups == 1
+
+    def test_lpddr5_bank_group_mode(self):
+        geometry = get_config("LPDDR5-8533").geometry
+        assert geometry.bank_groups == 4
+        assert geometry.banks == 16
+
+    def test_bank_group_standards_penalize_same_group(self):
+        for name in ("DDR4-3200", "DDR5-6400", "LPDDR5-8533"):
+            timing = get_config(name).timing
+            assert timing.tccd_l > timing.tccd_s, name
+
+    def test_no_group_standards_are_seamless(self):
+        for name in ("DDR3-800", "DDR3-1600", "LPDDR4-2133", "LPDDR4-4266"):
+            timing = get_config(name).timing
+            assert timing.tccd_l == timing.tccd_s, name
+
+
+class TestRefreshModes:
+    def test_ddr3_ddr4_all_bank(self):
+        for name in ("DDR3-800", "DDR3-1600", "DDR4-1600", "DDR4-3200"):
+            assert get_config(name).refresh_mode == REFRESH_ALL_BANK
+
+    def test_modern_standards_per_bank(self):
+        for name in ("DDR5-3200", "DDR5-6400", "LPDDR4-2133", "LPDDR5-8533"):
+            assert get_config(name).refresh_mode == REFRESH_PER_BANK
+
+
+class TestSpeedGradePairs:
+    @pytest.mark.parametrize("slow,fast", [
+        ("DDR3-800", "DDR3-1600"),
+        ("DDR4-1600", "DDR4-3200"),
+        ("DDR5-3200", "DDR5-6400"),
+        ("LPDDR4-2133", "LPDDR4-4266"),
+        ("LPDDR5-4267", "LPDDR5-8533"),
+    ])
+    def test_fast_grade_doubles_bandwidth(self, slow, fast):
+        a, b = get_config(slow), get_config(fast)
+        ratio = b.peak_bandwidth_bytes_per_s / a.peak_bandwidth_bytes_per_s
+        assert 1.9 < ratio < 2.1
+
+    @pytest.mark.parametrize("slow,fast", [
+        ("DDR3-800", "DDR3-1600"),
+        ("DDR4-1600", "DDR4-3200"),
+        ("DDR5-3200", "DDR5-6400"),
+        ("LPDDR4-2133", "LPDDR4-4266"),
+        ("LPDDR5-4267", "LPDDR5-8533"),
+    ])
+    def test_analog_timings_stay_constant(self, slow, fast):
+        """tRCD/tRP are analog: (roughly) invariant across grades."""
+        a, b = get_config(slow), get_config(fast)
+        assert abs(a.timing.trcd - b.timing.trcd) <= 3000
+        assert abs(a.timing.trp - b.timing.trp) <= 3000
+
+    def test_peak_bandwidth_values(self):
+        # DDR4-3200 x64 = 25.6 GB/s = 204.8 Gbit/s
+        assert gbit_per_s(get_config("DDR4-3200").peak_bandwidth_bytes_per_s) == pytest.approx(204.8)
+        # LPDDR4-4266 x16 = 8.5 GB/s
+        assert gbit_per_s(get_config("LPDDR4-4266").peak_bandwidth_bytes_per_s) == pytest.approx(68.256)

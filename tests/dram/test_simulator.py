@@ -1,0 +1,60 @@
+"""High-level simulate_phase / simulate_interleaver facade."""
+
+import pytest
+
+from repro.dram.controller import OP_READ, OP_WRITE, ControllerConfig
+from repro.dram.simulator import simulate_interleaver, simulate_phase
+from repro.interleaver.triangular import TriangularIndexSpace
+from repro.mapping.optimized import OptimizedMapping
+from repro.mapping.row_major import RowMajorMapping
+
+
+@pytest.fixture
+def mapping(tiny_config):
+    return OptimizedMapping(TriangularIndexSpace(16), tiny_config.geometry)
+
+
+class TestSimulatePhase:
+    def test_write_phase(self, tiny_config, mapping):
+        stats = simulate_phase(tiny_config, mapping, OP_WRITE)
+        assert stats.requests == mapping.space.num_elements
+        assert 0 < stats.utilization <= 1.0
+
+    def test_read_phase(self, tiny_config, mapping):
+        stats = simulate_phase(tiny_config, mapping, OP_READ)
+        assert stats.requests == mapping.space.num_elements
+
+    def test_rejects_bad_op(self, tiny_config, mapping):
+        with pytest.raises(ValueError):
+            simulate_phase(tiny_config, mapping, "ERASE")
+
+    def test_policy_passthrough(self, tiny_config, mapping):
+        with_ref = simulate_phase(tiny_config, mapping, OP_READ,
+                                  ControllerConfig(refresh_enabled=True))
+        without = simulate_phase(tiny_config, mapping, OP_READ,
+                                 ControllerConfig(refresh_enabled=False))
+        assert without.refreshes == 0
+        assert without.utilization >= with_ref.utilization
+
+
+class TestSimulateInterleaver:
+    def test_result_fields(self, tiny_config, mapping):
+        result = simulate_interleaver(tiny_config, mapping)
+        assert result.config_name == tiny_config.name
+        assert result.mapping_name == "optimized"
+        assert result.write.requests == result.read.requests
+
+    def test_min_utilization(self, tiny_config, mapping):
+        result = simulate_interleaver(tiny_config, mapping)
+        assert result.min_utilization == min(result.write_utilization,
+                                             result.read_utilization)
+
+    def test_effective_bandwidth(self, tiny_config, mapping):
+        result = simulate_interleaver(tiny_config, mapping)
+        expected = result.min_utilization * tiny_config.peak_bandwidth_bytes_per_s
+        assert result.effective_bandwidth_bytes_per_s(tiny_config) == pytest.approx(expected)
+
+    def test_row_major_name(self, tiny_config):
+        mapping = RowMajorMapping(TriangularIndexSpace(16), tiny_config.geometry)
+        result = simulate_interleaver(tiny_config, mapping)
+        assert result.mapping_name == "row-major"

@@ -1,0 +1,77 @@
+"""PhaseStats arithmetic."""
+
+import pytest
+
+from repro.dram.stats import PhaseStats, min_phase_utilization
+
+
+def _stats(**overrides):
+    values = dict(
+        requests=100,
+        page_hits=70,
+        page_misses=25,
+        page_empties=5,
+        activates=30,
+        precharges=25,
+        refreshes=2,
+        data_time_ps=250_000,
+        makespan_ps=312_500,
+    )
+    values.update(overrides)
+    return PhaseStats(**values)
+
+
+class TestDerivedRates:
+    def test_utilization(self):
+        assert _stats().utilization == pytest.approx(0.8)
+
+    def test_utilization_empty(self):
+        assert PhaseStats().utilization == 0.0
+
+    def test_hit_rate(self):
+        assert _stats().hit_rate == pytest.approx(0.7)
+
+    def test_miss_rate(self):
+        assert _stats().miss_rate == pytest.approx(0.25)
+
+    def test_rates_zero_without_requests(self):
+        empty = PhaseStats()
+        assert empty.hit_rate == 0.0 and empty.miss_rate == 0.0
+
+
+class TestMerge:
+    def test_counters_add(self):
+        merged = _stats().merge(_stats())
+        assert merged.requests == 200
+        assert merged.page_hits == 140
+        assert merged.data_time_ps == 500_000
+        assert merged.makespan_ps == 625_000
+
+    def test_merge_preserves_utilization(self):
+        a = _stats()
+        merged = a.merge(a)
+        assert merged.utilization == pytest.approx(a.utilization)
+
+    def test_command_counts_merge(self):
+        a = _stats(command_counts={"ACT": 3, "PRE": 1})
+        b = _stats(command_counts={"ACT": 2, "RD": 7})
+        merged = a.merge(b)
+        assert merged.command_counts == {"ACT": 5, "PRE": 1, "RD": 7}
+
+
+class TestMinPhase:
+    def test_min_picks_lower(self):
+        write = _stats(data_time_ps=240_000)   # 76.8 %
+        read = _stats(data_time_ps=280_000)    # 89.6 %
+        assert min_phase_utilization(write, read) == write.utilization
+
+    def test_symmetric(self):
+        a, b = _stats(), _stats(data_time_ps=100_000)
+        assert min_phase_utilization(a, b) == min_phase_utilization(b, a)
+
+
+class TestSummary:
+    def test_summary_mentions_key_counts(self):
+        text = _stats().summary()
+        assert "100 requests" in text
+        assert "util=80.00%" in text

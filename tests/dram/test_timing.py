@@ -1,0 +1,162 @@
+"""TimingParams validation and datasheet conversion."""
+
+import dataclasses
+
+import pytest
+
+from repro.dram.timing import TimingParams, from_datasheet
+
+
+def _base_kwargs(**overrides):
+    kwargs = dict(
+        tck=625,
+        cl=13750,
+        cwl=10000,
+        trcd=13750,
+        trp=13750,
+        tras=32000,
+        trrd_s=2500,
+        trrd_l=4900,
+        tfaw=21000,
+        tccd_s=2500,
+        tccd_l=5000,
+        twr=15000,
+        twtr_s=2500,
+        twtr_l=7500,
+        trtp=7500,
+        trtw=5000,
+        trefi=7_800_000,
+        trfc=350_000,
+        trfc_pb=0,
+    )
+    kwargs.update(overrides)
+    return kwargs
+
+
+class TestValidation:
+    def test_valid_construction(self):
+        params = TimingParams(**_base_kwargs())
+        assert params.trcd == 13750
+
+    def test_trc_is_tras_plus_trp(self):
+        params = TimingParams(**_base_kwargs())
+        assert params.trc == params.tras + params.trp
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            TimingParams(**_base_kwargs(trcd=13.75))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TimingParams(**_base_kwargs(twr=-1))
+
+    def test_rejects_zero_tck(self):
+        with pytest.raises(ValueError):
+            TimingParams(**_base_kwargs(tck=0))
+
+    def test_rejects_trrd_l_below_s(self):
+        with pytest.raises(ValueError):
+            TimingParams(**_base_kwargs(trrd_l=2000, trrd_s=2500))
+
+    def test_rejects_tccd_l_below_s(self):
+        with pytest.raises(ValueError):
+            TimingParams(**_base_kwargs(tccd_l=2000, tccd_s=2500))
+
+    def test_rejects_twtr_l_below_s(self):
+        with pytest.raises(ValueError):
+            TimingParams(**_base_kwargs(twtr_l=1000, twtr_s=2500))
+
+    def test_rejects_tras_below_trcd(self):
+        with pytest.raises(ValueError):
+            TimingParams(**_base_kwargs(tras=10000, trcd=13750))
+
+    def test_rejects_tfaw_below_trrd(self):
+        with pytest.raises(ValueError):
+            TimingParams(**_base_kwargs(tfaw=2000, trrd_s=2500, trrd_l=4900))
+
+    def test_frozen(self):
+        params = TimingParams(**_base_kwargs())
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            params.trcd = 1
+
+
+class TestScaled:
+    def test_scales_analog_values(self):
+        params = TimingParams(**_base_kwargs())
+        slower = params.scaled(2.0)
+        assert slower.trcd == 2 * params.trcd
+        assert slower.tras == 2 * params.tras
+
+    def test_preserves_tck(self):
+        params = TimingParams(**_base_kwargs())
+        assert params.scaled(3.0).tck == params.tck
+
+
+class TestFromDatasheet:
+    def _make(self, rate=3200):
+        return from_datasheet(
+            rate,
+            cl_ck=22,
+            cwl_ck=16,
+            trcd_ns=13.75,
+            trp_ns=13.75,
+            tras_ns=32.0,
+            trrd_s_ns=2.5,
+            trrd_l_ns=4.9,
+            tfaw_ns=21.0,
+            tccd_s_ck=4,
+            tccd_l_ns=5.0,
+            twr_ns=15.0,
+            twtr_s_ns=2.5,
+            twtr_l_ns=7.5,
+            trtp_ns=7.5,
+            trtw_ck=8,
+            trefi_us=7.8,
+            trfc_ns=350.0,
+        )
+
+    def test_ns_fields(self):
+        params = self._make()
+        assert params.trcd == 13750
+        assert params.tras == 32000
+        assert params.trfc == 350_000
+        assert params.trefi == 7_800_000
+
+    def test_clock_fields_exact(self):
+        params = self._make()
+        # 22 clocks at 3200 MT/s = 22 x 625 ps
+        assert params.cl == 22 * 625
+        assert params.tccd_s == 4 * 625
+
+    def test_clock_fields_exact_at_6400(self):
+        params = from_datasheet(
+            6400,
+            cl_ck=46, cwl_ck=44, trcd_ns=16.0, trp_ns=16.0, tras_ns=32.0,
+            trrd_s_ns=2.5, trrd_l_ns=5.0, tfaw_ns=10.0, tccd_s_ck=8,
+            tccd_l_ns=5.0, twr_ns=30.0, twtr_s_ns=2.5, twtr_l_ns=10.0,
+            trtp_ns=7.5, trtw_ck=16, trefi_us=3.9, trfc_ns=295.0,
+        )
+        # 8 clocks at 312.5 ps must be exactly 2500, not 8 x 312
+        assert params.tccd_s == 2500
+
+    def test_tccd_l_floor_is_tccd_s(self):
+        params = from_datasheet(
+            1600,
+            cl_ck=11, cwl_ck=9, trcd_ns=13.75, trp_ns=13.75, tras_ns=35.0,
+            trrd_s_ns=5.0, trrd_l_ns=6.0, tfaw_ns=25.0, tccd_s_ck=4,
+            tccd_l_ns=0.0,  # "no bank groups": floor at tCCD_S
+            twr_ns=15.0, twtr_s_ns=7.5, twtr_l_ns=7.5, trtp_ns=7.5,
+            trtw_ck=8, trefi_us=7.8, trfc_ns=160.0,
+        )
+        assert params.tccd_l == params.tccd_s
+
+    def test_trrd_floor_four_clocks(self):
+        params = from_datasheet(
+            800,
+            cl_ck=5, cwl_ck=5, trcd_ns=12.5, trp_ns=12.5, tras_ns=37.5,
+            trrd_s_ns=1.0, trrd_l_ns=1.0, tfaw_ns=30.0, tccd_s_ck=4,
+            tccd_l_ns=0.0, twr_ns=15.0, twtr_s_ns=7.5, twtr_l_ns=7.5,
+            trtp_ns=7.5, trtw_ck=6, trefi_us=7.8, trfc_ns=160.0,
+        )
+        # 4 clocks at 2.5 ns beats the 1 ns request
+        assert params.trrd_s == 10000

@@ -1,0 +1,93 @@
+"""Symbol-stream helpers."""
+
+import numpy as np
+import pytest
+
+from repro.interleaver.stream import (
+    frame_count,
+    pad_to,
+    random_symbols,
+    sequential_symbols,
+    symbols_per_burst,
+)
+
+
+class TestRandomSymbols:
+    def test_range(self, rng):
+        symbols = random_symbols(10_000, bits_per_symbol=3, rng=rng)
+        assert symbols.min() >= 0
+        assert symbols.max() < 8
+
+    def test_count(self, rng):
+        assert random_symbols(123, rng=rng).size == 123
+
+    def test_zero_count(self, rng):
+        assert random_symbols(0, rng=rng).size == 0
+
+    def test_rejects_bad_width(self, rng):
+        with pytest.raises(ValueError):
+            random_symbols(10, bits_per_symbol=0, rng=rng)
+        with pytest.raises(ValueError):
+            random_symbols(10, bits_per_symbol=17, rng=rng)
+
+    def test_rejects_negative_count(self, rng):
+        with pytest.raises(ValueError):
+            random_symbols(-1, rng=rng)
+
+    def test_reproducible(self):
+        a = random_symbols(100, rng=np.random.default_rng(7))
+        b = random_symbols(100, rng=np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+
+class TestSequentialSymbols:
+    def test_ramp(self):
+        assert sequential_symbols(5).tolist() == [0, 1, 2, 3, 4]
+
+    def test_wraps_at_width(self):
+        symbols = sequential_symbols(10, bits_per_symbol=3)
+        assert symbols.tolist() == [0, 1, 2, 3, 4, 5, 6, 7, 0, 1]
+
+    def test_collision_free_at_16_bits(self):
+        symbols = sequential_symbols(65536)
+        assert len(np.unique(symbols)) == 65536
+
+
+class TestPad:
+    def test_pads(self):
+        padded = pad_to(np.array([1, 2], dtype=np.uint16), 5, fill=9)
+        assert padded.tolist() == [1, 2, 9, 9, 9]
+
+    def test_noop_when_exact(self):
+        original = np.array([1, 2], dtype=np.uint16)
+        padded = pad_to(original, 2)
+        assert np.array_equal(padded, original)
+        assert padded is not original  # copy, not alias
+
+    def test_rejects_shrink(self):
+        with pytest.raises(ValueError):
+            pad_to(np.array([1, 2, 3]), 2)
+
+
+class TestSymbolsPerBurst:
+    def test_paper_example(self):
+        """512-bit burst, 3-bit symbols -> 170 symbols (paper Sec. II)."""
+        assert symbols_per_burst(64, 3) == 170
+
+    def test_exact_fit(self):
+        assert symbols_per_burst(64, 8) == 64
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            symbols_per_burst(0, 3)
+        with pytest.raises(ValueError):
+            symbols_per_burst(64, 0)
+
+
+class TestFrameCount:
+    def test_full_frames(self):
+        assert frame_count(100, 30) == 3
+
+    def test_rejects_bad_frame(self):
+        with pytest.raises(ValueError):
+            frame_count(100, 0)

@@ -1,0 +1,175 @@
+"""Triangular and rectangular index spaces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interleaver.triangular import (
+    RectangularIndexSpace,
+    TriangularIndexSpace,
+    interleaver_delay,
+    triangle_size_for_elements,
+)
+
+
+class TestTriangularGeometry:
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            TriangularIndexSpace(0)
+
+    def test_num_elements(self):
+        assert TriangularIndexSpace(5).num_elements == 15
+
+    def test_paper_scale(self):
+        space = TriangularIndexSpace(5000)
+        assert space.num_elements == 12_502_500  # the paper's 12.5 M
+
+    def test_row_lengths_decrease(self):
+        space = TriangularIndexSpace(6)
+        assert [space.row_length(i) for i in range(6)] == [6, 5, 4, 3, 2, 1]
+
+    def test_col_lengths_decrease(self):
+        space = TriangularIndexSpace(6)
+        assert [space.col_length(j) for j in range(6)] == [6, 5, 4, 3, 2, 1]
+
+    def test_contains(self):
+        space = TriangularIndexSpace(4)
+        assert space.contains(0, 3)
+        assert space.contains(3, 0)
+        assert not space.contains(1, 3)
+        assert not space.contains(-1, 0)
+        assert not space.contains(0, 4)
+
+    def test_row_bounds_checked(self):
+        space = TriangularIndexSpace(4)
+        with pytest.raises(ValueError):
+            space.row_length(4)
+        with pytest.raises(ValueError):
+            space.col_length(-1)
+
+
+class TestLinearization:
+    def test_row_offsets(self):
+        space = TriangularIndexSpace(5)
+        assert [space.row_offset(i) for i in range(5)] == [0, 5, 9, 12, 14]
+
+    def test_linear_index_first_and_last(self):
+        space = TriangularIndexSpace(5)
+        assert space.linear_index(0, 0) == 0
+        assert space.linear_index(4, 0) == space.num_elements - 1
+
+    def test_linear_rejects_outside(self):
+        with pytest.raises(ValueError):
+            TriangularIndexSpace(5).linear_index(2, 3)
+
+    def test_from_linear_roundtrip_exhaustive(self):
+        space = TriangularIndexSpace(23)
+        for i, j in space.write_order():
+            assert space.from_linear(space.linear_index(i, j)) == (i, j)
+
+    def test_from_linear_rejects_out_of_range(self):
+        space = TriangularIndexSpace(5)
+        with pytest.raises(ValueError):
+            space.from_linear(15)
+        with pytest.raises(ValueError):
+            space.from_linear(-1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=4000),
+           data=st.data())
+    def test_from_linear_property(self, n, data):
+        space = TriangularIndexSpace(n)
+        index = data.draw(st.integers(min_value=0, max_value=space.num_elements - 1))
+        i, j = space.from_linear(index)
+        assert space.contains(i, j)
+        assert space.linear_index(i, j) == index
+
+
+class TestOrders:
+    def test_write_order_covers_all_once(self):
+        space = TriangularIndexSpace(12)
+        cells = list(space.write_order())
+        assert len(cells) == space.num_elements
+        assert len(set(cells)) == space.num_elements
+
+    def test_read_order_covers_all_once(self):
+        space = TriangularIndexSpace(12)
+        cells = list(space.read_order())
+        assert len(cells) == space.num_elements
+        assert set(cells) == set(space.write_order())
+
+    def test_write_order_is_row_wise(self):
+        cells = list(TriangularIndexSpace(3).write_order())
+        assert cells == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 0)]
+
+    def test_read_order_is_column_wise(self):
+        cells = list(TriangularIndexSpace(3).read_order())
+        assert cells == [(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (0, 2)]
+
+
+class TestRectangular:
+    def test_basic(self, small_rect):
+        assert small_rect.num_elements == 24 * 40
+        assert small_rect.row_length(0) == 40
+        assert small_rect.col_length(0) == 24
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            RectangularIndexSpace(0, 5)
+
+    def test_linear_roundtrip(self, small_rect):
+        for index in range(small_rect.num_elements):
+            i, j = small_rect.from_linear(index)
+            assert small_rect.linear_index(i, j) == index
+
+    def test_orders_cover(self, small_rect):
+        assert len(list(small_rect.write_order())) == small_rect.num_elements
+        assert set(small_rect.read_order()) == set(small_rect.write_order())
+
+    def test_write_vs_read_transposed(self):
+        space = RectangularIndexSpace(2, 3)
+        assert list(space.write_order()) == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+        assert list(space.read_order()) == [(0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (1, 2)]
+
+
+class TestSizeForElements:
+    def test_paper_value(self):
+        assert triangle_size_for_elements(12_500_000) == 5000
+
+    def test_exact_triangle(self):
+        assert triangle_size_for_elements(15) == 5
+
+    def test_one(self):
+        assert triangle_size_for_elements(1) == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            triangle_size_for_elements(0)
+
+    @given(count=st.integers(min_value=1, max_value=10**7))
+    def test_property_minimal(self, count):
+        n = triangle_size_for_elements(count)
+        assert n * (n + 1) // 2 >= count
+        assert n == 1 or (n - 1) * n // 2 < count
+
+
+class TestDelay:
+    def test_delay_in_range(self):
+        space = TriangularIndexSpace(20)
+        for i, j in space.write_order():
+            delay = interleaver_delay(space, i, j)
+            assert 0 <= delay < space.num_elements
+
+    def test_rejects_outside(self):
+        space = TriangularIndexSpace(5)
+        with pytest.raises(ValueError):
+            interleaver_delay(space, 4, 4)
+
+    def test_first_cell_zero_delay(self):
+        space = TriangularIndexSpace(10)
+        assert interleaver_delay(space, 0, 0) == 0
+
+    def test_delays_distinct_along_first_row(self):
+        space = TriangularIndexSpace(10)
+        delays = [interleaver_delay(space, 0, j) for j in range(10)]
+        assert len(set(delays)) == 10

@@ -1,0 +1,84 @@
+"""Access-pattern analysis metrics."""
+
+import pytest
+
+from repro.mapping.analysis import PatternMetrics, analyze_pattern, miss_clustering
+
+
+class TestAnalyzePattern:
+    def test_empty(self):
+        metrics = analyze_pattern([])
+        assert metrics.accesses == 0
+        assert metrics.hit_rate == 0.0
+
+    def test_single_access(self):
+        metrics = analyze_pattern([(0, 0, 0)])
+        assert metrics.accesses == 1
+        assert metrics.page_switches == 0
+        assert metrics.run_lengths == {1: 1}
+
+    def test_all_hits(self):
+        metrics = analyze_pattern([(0, 3, c) for c in range(10)])
+        assert metrics.page_switches == 0
+        assert metrics.hit_rate == 1.0
+        assert metrics.run_lengths == {10: 1}
+
+    def test_row_thrash(self):
+        metrics = analyze_pattern([(0, i % 2, 0) for i in range(10)])
+        assert metrics.page_switches == 9
+        assert metrics.hit_rate == pytest.approx(0.1)
+        assert metrics.mean_run_length == 1.0
+
+    def test_bank_switch_rate(self):
+        metrics = analyze_pattern([(i % 2, 0, 0) for i in range(10)])
+        assert metrics.bank_switch_rate == 1.0
+
+    def test_bank_group_switch_rate(self):
+        # banks 0 and 2 share group 0 with 2 groups
+        metrics = analyze_pattern([(0, 0, 0), (2, 0, 0), (1, 0, 0)], bank_groups=2)
+        assert metrics.bank_switches == 2
+        assert metrics.bank_group_switches == 1
+
+    def test_per_bank_runs_independent(self):
+        # Interleaved banks, each streaming its own page: no switches.
+        accesses = [(b, 7, c) for c in range(8) for b in range(4)]
+        metrics = analyze_pattern(accesses)
+        assert metrics.page_switches == 0
+        assert metrics.run_lengths == {8: 4}
+
+    def test_run_length_accounting_sums_to_accesses(self):
+        accesses = [(i % 3, (i // 5) % 4, i % 8) for i in range(200)]
+        metrics = analyze_pattern(accesses)
+        total = sum(length * count for length, count in metrics.run_lengths.items())
+        assert total == 200
+
+
+class TestMissClustering:
+    def test_no_misses(self):
+        metrics = analyze_pattern([(0, 0, c) for c in range(5)])
+        assert miss_clustering(metrics) == 0.0
+
+    def test_clustered_misses(self):
+        # Two banks switching pages back-to-back.
+        accesses = [(0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0), (0, 2, 0), (1, 2, 0)]
+        metrics = analyze_pattern(accesses)
+        assert miss_clustering(metrics, window=1) == 1.0
+
+    def test_spread_misses(self):
+        accesses = []
+        for round_ in range(4):
+            for c in range(6):
+                accesses.append((0, round_, c))
+        metrics = analyze_pattern(accesses)
+        assert miss_clustering(metrics, window=1) == 0.0
+        assert miss_clustering(metrics, window=6) == 1.0
+
+
+class TestDerived:
+    def test_mean_run_empty(self):
+        assert PatternMetrics().mean_run_length == 0.0
+
+    def test_switch_rates_single_access(self):
+        metrics = analyze_pattern([(0, 0, 0)])
+        assert metrics.bank_switch_rate == 0.0
+        assert metrics.bank_group_switch_rate == 0.0

@@ -1,0 +1,101 @@
+"""Mapping validators catch broken mappings."""
+
+import pytest
+
+from repro.dram.geometry import Geometry
+from repro.interleaver.triangular import TriangularIndexSpace
+from repro.mapping.base import InterleaverMapping
+from repro.mapping.validate import assert_valid, validate_mapping
+
+
+@pytest.fixture
+def geometry():
+    return Geometry(bank_groups=2, banks_per_group=2, rows=16, columns=64,
+                    bus_width_bits=64, burst_length=8)
+
+
+class _CollidingMapping(InterleaverMapping):
+    """Everything maps to (0, 0, 0)."""
+
+    name = "colliding"
+
+    def address_tuple(self, i, j):
+        return (0, 0, 0)
+
+
+class _OutOfRangeMapping(InterleaverMapping):
+    """Row index exceeds the device."""
+
+    name = "out-of-range"
+
+    def address_tuple(self, i, j):
+        return (0, 10**6, 0)
+
+
+class _IdentityMapping(InterleaverMapping):
+    """Injective by construction (row-major into (row, column))."""
+
+    name = "identity"
+
+    def address_tuple(self, i, j):
+        linear = self.space.linear_index(i, j)
+        bursts = self.geometry.bursts_per_row
+        return (0, linear // bursts, linear % bursts)
+
+
+class TestValidate:
+    def test_detects_collisions(self, geometry):
+        mapping = _CollidingMapping(TriangularIndexSpace(8), geometry)
+        report = validate_mapping(mapping)
+        assert not report.ok
+        assert report.collisions
+        first = report.collisions[0]
+        assert first[2] == (0, 0, 0)
+
+    def test_detects_out_of_range(self, geometry):
+        mapping = _OutOfRangeMapping(TriangularIndexSpace(8), geometry)
+        report = validate_mapping(mapping)
+        assert not report.ok
+        assert report.out_of_range
+
+    def test_collision_report_capped(self, geometry):
+        mapping = _CollidingMapping(TriangularIndexSpace(16), geometry)
+        report = validate_mapping(mapping, max_report=5)
+        assert len(report.collisions) == 5
+
+    def test_accepts_valid(self, geometry):
+        mapping = _IdentityMapping(TriangularIndexSpace(12), geometry)
+        report = validate_mapping(mapping)
+        assert report.ok
+        assert report.cells == 78
+        assert report.banks_used == 1
+
+    def test_assert_valid_raises_on_collision(self, geometry):
+        with pytest.raises(AssertionError, match="collide"):
+            assert_valid(_CollidingMapping(TriangularIndexSpace(8), geometry))
+
+    def test_assert_valid_raises_on_range(self, geometry):
+        with pytest.raises(AssertionError, match="out of range"):
+            assert_valid(_OutOfRangeMapping(TriangularIndexSpace(8), geometry))
+
+    def test_rows_and_banks_counted(self, geometry):
+        mapping = _IdentityMapping(TriangularIndexSpace(12), geometry)
+        report = validate_mapping(mapping)
+        assert report.rows_used == -(-78 // geometry.bursts_per_row)
+
+
+class TestBaseClassHelpers:
+    def test_address_of_wraps_tuple(self, geometry):
+        mapping = _IdentityMapping(TriangularIndexSpace(8), geometry)
+        address = mapping.address_of(0, 3)
+        assert (address.bank, address.row, address.column) == mapping.address_tuple(0, 3)
+
+    def test_default_orders_follow_space(self, geometry):
+        space = TriangularIndexSpace(8)
+        mapping = _IdentityMapping(space, geometry)
+        assert len(list(mapping.write_addresses())) == space.num_elements
+        assert len(list(mapping.read_addresses())) == space.num_elements
+
+    def test_default_capacity_check_uses_rows(self, geometry):
+        mapping = _IdentityMapping(TriangularIndexSpace(8), geometry)
+        mapping.check_capacity()  # rows_used() default = geometry.rows -> passes

@@ -1,0 +1,96 @@
+"""Sweep harness: Table I grid, size sweeps, ablations."""
+
+import pytest
+
+from repro.dram.controller import ControllerConfig
+from repro.dram.presets import get_config
+from repro.system.sweep import (
+    ablation_factories,
+    default_mappings,
+    format_table1,
+    run_table1,
+    sweep_sizes,
+)
+
+
+@pytest.fixture(scope="module")
+def small_rows():
+    """One small Table I run shared by the formatting tests."""
+    return run_table1(n=64, config_names=("DDR3-800", "DDR4-3200"))
+
+
+class TestRunTable1:
+    def test_rows_match_requested_configs(self, small_rows):
+        assert [r.config_name for r in small_rows] == ["DDR3-800", "DDR4-3200"]
+
+    def test_cells_are_utilizations(self, small_rows):
+        for row in small_rows:
+            for value in row.cells():
+                assert 0.0 < value <= 1.0
+
+    def test_mapping_names(self, small_rows):
+        assert small_rows[0].row_major.mapping_name == "row-major"
+        assert small_rows[0].optimized.mapping_name == "optimized"
+
+    def test_policy_override(self):
+        rows = run_table1(n=48, config_names=("DDR3-800",),
+                          policy=ControllerConfig(refresh_enabled=False))
+        assert rows[0].row_major.write.refreshes == 0
+
+
+class TestFormat:
+    def test_contains_all_configs(self, small_rows):
+        text = format_table1(small_rows)
+        assert "DDR3-800" in text and "DDR4-3200" in text
+
+    def test_marks_limiting_phase(self, small_rows):
+        text = format_table1(small_rows)
+        assert "*" in text
+        assert "limits interleaver throughput" in text
+
+    def test_one_line_per_config(self, small_rows):
+        lines = format_table1(small_rows).splitlines()
+        assert len(lines) == 2 + len(small_rows) + 1
+
+
+class TestSizeSweep:
+    def test_points_cover_grid(self):
+        config = get_config("DDR3-800")
+        points = sweep_sizes(config, sizes=(32, 64))
+        assert len(points) == 4  # 2 sizes x 2 mappings
+        assert {p.n for p in points} == {32, 64}
+        assert {p.mapping_name for p in points} == {"row-major", "optimized"}
+
+    def test_elements_match_size(self):
+        config = get_config("DDR3-800")
+        points = sweep_sizes(config, sizes=(32,))
+        assert all(p.elements == 32 * 33 // 2 for p in points)
+
+    def test_min_utilization(self):
+        config = get_config("DDR3-800")
+        point = sweep_sizes(config, sizes=(48,))[0]
+        assert point.min_utilization == min(point.write_utilization,
+                                            point.read_utilization)
+
+
+class TestFactories:
+    def test_default_mappings(self):
+        factories = default_mappings()
+        assert set(factories) == {"row-major", "optimized"}
+
+    def test_ablation_factories_build(self):
+        from repro.interleaver.triangular import TriangularIndexSpace
+        config = get_config("DDR4-3200")
+        space = TriangularIndexSpace(64)
+        for name, factory in ablation_factories().items():
+            mapping = factory(space, config.geometry)
+            assert mapping.address_tuple(0, 0) is not None, name
+
+    def test_ablation_flags(self):
+        from repro.interleaver.triangular import TriangularIndexSpace
+        config = get_config("DDR4-3200")
+        space = TriangularIndexSpace(64)
+        factories = ablation_factories()
+        assert not factories["no-bank-rotation"](space, config.geometry).enable_bank_rotation
+        assert not factories["no-tiling"](space, config.geometry).enable_tiling
+        assert not factories["no-offset"](space, config.geometry).enable_offset

@@ -1,0 +1,104 @@
+"""Throughput and provisioning analysis."""
+
+import pytest
+
+from repro.dram.presets import get_config
+from repro.dram.stats import PhaseStats
+from repro.dram.simulator import InterleaverSimResult
+from repro.system.throughput import (
+    ProvisioningChoice,
+    ThroughputReport,
+    provision,
+    required_channels,
+    throughput_report,
+)
+
+
+def _result(config_name, mapping_name, write_util, read_util):
+    def stats(util):
+        return PhaseStats(requests=1000, data_time_ps=int(util * 1_000_000),
+                          makespan_ps=1_000_000)
+
+    return InterleaverSimResult(
+        config_name=config_name,
+        mapping_name=mapping_name,
+        write=stats(write_util),
+        read=stats(read_util),
+    )
+
+
+class TestReport:
+    def test_sustained_is_half_peak_times_min(self):
+        config = get_config("DDR4-3200")  # 204.8 Gbit/s peak
+        report = throughput_report(config, _result("DDR4-3200", "optimized", 0.9, 0.8))
+        assert report.min_utilization == pytest.approx(0.8)
+        assert report.peak_bandwidth_gbit == pytest.approx(204.8)
+        assert report.sustained_gbit == pytest.approx(0.8 * 204.8 / 2)
+
+    def test_efficiency(self):
+        config = get_config("DDR4-3200")
+        report = throughput_report(config, _result("DDR4-3200", "optimized", 0.9, 0.8))
+        assert report.efficiency == pytest.approx(0.8)
+
+
+class TestRequiredChannels:
+    def _report(self, sustained):
+        return ThroughputReport(config_name="X", mapping_name="m",
+                                min_utilization=0.5, peak_bandwidth_gbit=100.0,
+                                sustained_gbit=sustained)
+
+    def test_exact_fit(self):
+        assert required_channels(self._report(50.0), 100.0) == 2
+
+    def test_rounds_up(self):
+        assert required_channels(self._report(30.0), 100.0) == 4
+
+    def test_minimum_one(self):
+        assert required_channels(self._report(500.0), 1.0) == 1
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            required_channels(self._report(50.0), 0.0)
+
+    def test_rejects_zero_throughput(self):
+        with pytest.raises(ValueError):
+            required_channels(self._report(0.0), 100.0)
+
+
+class TestProvision:
+    def _reports(self):
+        configs = [("A", 0.9, 100.0), ("B", 0.45, 200.0), ("C", 0.2, 400.0)]
+        return [
+            ThroughputReport(config_name=name, mapping_name="m",
+                             min_utilization=util, peak_bandwidth_gbit=peak,
+                             sustained_gbit=util * peak / 2)
+            for name, util, peak in configs
+        ]
+
+    def test_cheapest_first(self):
+        choices = provision(self._reports(), target_gbit=40.0)
+        assert [c.report.config_name for c in choices][0] == "A"
+        totals = [c.total_peak_gbit for c in choices]
+        assert totals == sorted(totals)
+
+    def test_max_channels_filters(self):
+        choices = provision(self._reports(), target_gbit=500.0, max_channels=2)
+        # A sustains 45 -> needs 12 channels: filtered out.
+        assert all(c.channels <= 2 for c in choices)
+
+    def test_oversizing_factor(self):
+        choice = ProvisioningChoice(
+            target_gbit=100.0,
+            report=ThroughputReport("X", "m", 0.5, 200.0, 50.0),
+            channels=2,
+        )
+        # bought 400 peak for 2x100 minimum -> factor 2
+        assert choice.oversizing_factor == pytest.approx(2.0)
+
+    def test_optimized_mapping_needs_less_hardware(self):
+        """The paper's provisioning argument in miniature."""
+        config = get_config("LPDDR4-4266")
+        row_major = throughput_report(config, _result(config.name, "row-major", 0.98, 0.36))
+        optimized = throughput_report(config, _result(config.name, "optimized", 0.95, 0.95))
+        target = 100.0
+        assert required_channels(optimized, target) < required_channels(row_major, target)

@@ -1,0 +1,44 @@
+"""Public API surface: everything advertised in __all__ exists and the
+README quickstart actually runs."""
+
+import repro
+
+
+class TestSurface:
+    def test_all_names_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_subpackages_importable(self):
+        import repro.channel  # noqa: F401
+        import repro.dram  # noqa: F401
+        import repro.interleaver  # noqa: F401
+        import repro.mapping  # noqa: F401
+        import repro.system  # noqa: F401
+        import repro.viz  # noqa: F401
+
+    def test_dram_all_names_exist(self):
+        import repro.dram as dram
+        for name in dram.__all__:
+            assert hasattr(dram, name), name
+
+    def test_mapping_all_names_exist(self):
+        import repro.mapping as mapping
+        for name in mapping.__all__:
+            assert hasattr(mapping, name), name
+
+
+class TestQuickstart:
+    def test_readme_quickstart(self):
+        config = repro.get_config("DDR4-3200")
+        space = repro.TriangularIndexSpace(64)
+        mapping = repro.OptimizedMapping(space, config.geometry)
+        result = repro.simulate_interleaver(config, mapping)
+        assert 0 < result.write_utilization <= 1
+        assert 0 < result.read_utilization <= 1
+
+    def test_table1_config_names_public(self):
+        assert len(repro.TABLE1_CONFIG_NAMES) == 10

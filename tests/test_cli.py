@@ -1,0 +1,88 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+        capsys.readouterr()
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("table1", "fig1", "downlink", "provision", "configs"):
+            assert command in text
+
+
+class TestConfigs:
+    def test_lists_all_ten(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("DDR3-800", "DDR5-6400", "LPDDR5-8533"):
+            assert name in out
+
+
+class TestTable1:
+    def test_single_config(self, capsys):
+        assert main(["table1", "--n", "48", "--configs", "DDR3-800"]) == 0
+        out = capsys.readouterr().out
+        assert "DDR3-800" in out
+        assert "limits interleaver throughput" in out
+
+    def test_unknown_config_fails(self, capsys):
+        assert main(["table1", "--configs", "DDR9-1"]) == 2
+        assert "unknown configurations" in capsys.readouterr().err
+
+    def test_no_refresh_flag(self, capsys):
+        assert main(["table1", "--n", "48", "--no-refresh",
+                     "--configs", "DDR3-800"]) == 0
+        capsys.readouterr()
+
+
+class TestFig1:
+    def test_default_renders_panels(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        for tag in ("(a)", "(b)", "(c)", "(d)"):
+            assert tag in out
+
+    def test_real_config_geometry(self, capsys):
+        assert main(["fig1", "--size", "16", "--config", "DDR3-800"]) == 0
+        capsys.readouterr()
+
+    def test_unknown_config_fails(self, capsys):
+        assert main(["fig1", "--config", "HBM9"]) == 2
+        capsys.readouterr()
+
+
+class TestDownlink:
+    def test_runs(self, capsys):
+        assert main(["downlink", "--frames", "5", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "code-word failures" in out
+        assert "gain" in out
+
+    def test_rejects_bad_fade(self, capsys):
+        assert main(["downlink", "--fade-fraction", "1.5"]) == 2
+        capsys.readouterr()
+
+
+class TestProvision:
+    def test_ranks_options(self, capsys):
+        assert main(["provision", "--n", "48", "--target-gbit", "50",
+                     "--configs", "DDR3-800", "DDR4-3200"]) == 0
+        out = capsys.readouterr().out
+        assert "rank" in out
+        assert "optimized" in out and "row-major" in out
+
+    def test_rejects_bad_target(self, capsys):
+        assert main(["provision", "--target-gbit", "0"]) == 2
+        capsys.readouterr()
+
+    def test_rejects_unknown_config(self, capsys):
+        assert main(["provision", "--configs", "NOPE"]) == 2
+        capsys.readouterr()

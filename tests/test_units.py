@@ -1,0 +1,116 @@
+"""Unit-conversion helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestConversions:
+    def test_ns_to_ps(self):
+        assert units.ns_to_ps(1.0) == 1000
+
+    def test_ns_to_ps_rounds(self):
+        assert units.ns_to_ps(13.75) == 13750
+        assert units.ns_to_ps(0.0004) == 0
+
+    def test_us_to_ps(self):
+        assert units.us_to_ps(7.8) == 7_800_000
+
+    def test_ms_to_ps(self):
+        assert units.ms_to_ps(2.0) == 2_000_000_000
+
+    def test_ps_to_ns(self):
+        assert units.ps_to_ns(2500) == 2.5
+
+    def test_roundtrip(self):
+        assert units.ps_to_ns(units.ns_to_ps(35.0)) == 35.0
+
+
+class TestClocks:
+    def test_ddr4_3200_period(self):
+        assert units.clock_period_ps(3200) == 625
+
+    def test_ddr3_800_period(self):
+        assert units.clock_period_ps(800) == 2500
+
+    def test_ddr5_6400_period_rounds(self):
+        # exact value 312.5 ps -- rounded to the nearest integer
+        assert units.clock_period_ps(6400) in (312, 313)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            units.clock_period_ps(0)
+
+    def test_beat_period(self):
+        assert units.beat_period_ps(800) == 1250.0
+
+
+class TestBursts:
+    def test_ddr4_burst(self):
+        # BL8 at 3200 MT/s: 8 beats x 312.5 ps
+        assert units.burst_duration_ps(3200, 8) == 2500
+
+    def test_lpddr4_burst(self):
+        assert units.burst_duration_ps(4266, 16) == round(16 * 1e6 / 4266)
+
+    def test_rejects_zero_bl(self):
+        with pytest.raises(ValueError):
+            units.burst_duration_ps(3200, 0)
+
+
+class TestBandwidth:
+    def test_peak_bandwidth(self):
+        # DDR4-3200 x64: 3200 MT/s x 8 B = 25.6 GB/s
+        assert units.peak_bandwidth_bytes_per_s(3200, 64) == 25.6e9
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            units.peak_bandwidth_bytes_per_s(3200, 31)
+
+    def test_gbit(self):
+        assert units.gbit_per_s(12.5e9) == 100.0
+
+
+class TestQuantize:
+    def test_exact_multiple_unchanged(self):
+        assert units.quantize_up(5000, 625) == 5000
+
+    def test_rounds_up(self):
+        assert units.quantize_up(5001, 625) == 5625
+
+    def test_zero(self):
+        assert units.quantize_up(0, 625) == 0
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            units.quantize_up(100, 0)
+
+    @given(st.integers(min_value=0, max_value=10**12), st.integers(min_value=1, max_value=10**6))
+    def test_property(self, time_ps, period):
+        q = units.quantize_up(time_ps, period)
+        assert q >= time_ps
+        assert q % period == 0
+        assert q - time_ps < period
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert units.is_power_of_two(1)
+        assert units.is_power_of_two(1024)
+        assert not units.is_power_of_two(0)
+        assert not units.is_power_of_two(12)
+        assert not units.is_power_of_two(-4)
+
+    def test_log2(self):
+        assert units.log2_int(1) == 0
+        assert units.log2_int(65536) == 16
+
+    def test_log2_rejects(self):
+        with pytest.raises(ValueError):
+            units.log2_int(12)
+
+    @given(st.integers(min_value=0, max_value=40))
+    def test_log2_roundtrip(self, exponent):
+        assert units.log2_int(1 << exponent) == exponent

@@ -1,0 +1,92 @@
+"""Fig. 1 style rendering."""
+
+import pytest
+
+from repro.dram.geometry import Geometry
+from repro.interleaver.triangular import RectangularIndexSpace, TriangularIndexSpace
+from repro.mapping.optimized import OptimizedMapping
+from repro.viz import (
+    render_banks,
+    render_columns,
+    render_figure1,
+    render_full,
+    render_grid,
+    side_by_side,
+    utilization_bar,
+)
+
+
+@pytest.fixture
+def fig_geometry():
+    """Two banks, small pages: the scale of the paper's Fig. 1."""
+    return Geometry(bank_groups=2, banks_per_group=1, rows=64, columns=32,
+                    bus_width_bits=64, burst_length=8)
+
+
+@pytest.fixture
+def fig_mapping(fig_geometry):
+    return OptimizedMapping(RectangularIndexSpace(8, 8), fig_geometry)
+
+
+class TestRenderGrid:
+    def test_triangle_leaves_blanks(self):
+        space = TriangularIndexSpace(3)
+        text = render_grid(space, lambda i, j: "X")
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].count("X") == 3
+        assert lines[2].count("X") == 1
+
+    def test_labels_applied(self):
+        space = RectangularIndexSpace(2, 2)
+        text = render_grid(space, lambda i, j: f"{i}{j}")
+        assert "00 01" in text
+        assert "10 11" in text
+
+
+class TestFigurePanels:
+    def test_banks_diagonal(self, fig_mapping):
+        """Fig. 1a: the first row alternates B0 B1, the second starts B1."""
+        lines = render_banks(fig_mapping).splitlines()
+        assert lines[0].split()[:4] == ["B0", "B1", "B0", "B1"]
+        assert lines[1].split()[:4] == ["B1", "B0", "B1", "B0"]
+
+    def test_columns_panel_has_column_labels(self, fig_geometry):
+        mapping = OptimizedMapping(RectangularIndexSpace(8, 8), fig_geometry,
+                                   enable_offset=False)
+        text = render_columns(mapping)
+        assert "C0" in text
+
+    def test_full_panel_has_bcr_labels(self, fig_mapping):
+        text = render_full(fig_mapping)
+        assert "B0C0R0" in text
+
+    def test_figure1_contains_four_panels(self, fig_geometry):
+        text = render_figure1(RectangularIndexSpace(8, 8), fig_geometry)
+        for tag in ("(a)", "(b)", "(c)", "(d)"):
+            assert tag in text
+
+    def test_offset_changes_panel_d(self, fig_geometry):
+        space = RectangularIndexSpace(8, 8)
+        base = render_full(OptimizedMapping(space, fig_geometry, enable_offset=False))
+        shifted = render_full(OptimizedMapping(space, fig_geometry))
+        assert base != shifted
+
+
+class TestHelpers:
+    def test_utilization_bar_full(self):
+        assert utilization_bar(1.0, width=10) == "##########"
+
+    def test_utilization_bar_half(self):
+        bar = utilization_bar(0.5, width=10)
+        assert bar.count("#") == 5 and len(bar) == 10
+
+    def test_utilization_bar_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            utilization_bar(1.5)
+
+    def test_side_by_side(self):
+        joined = side_by_side(["a\nb", "xx"], gap=2)
+        lines = joined.splitlines()
+        assert lines[0] == "a  xx"
+        assert lines[1] == "b"
