@@ -17,7 +17,7 @@ from repro.dram.controller import ControllerConfig
 from repro.dram.presets import get_config
 from repro.dram.simulator import simulate_interleaver
 from repro.interleaver.triangular import TriangularIndexSpace
-from repro.system.sweep import ablation_factories
+from repro.system.sweep import ablation_factories, sweep_ablation
 
 CONFIGS = ("DDR4-3200", "LPDDR4-4266")
 VARIANTS = ("full", "no-bank-rotation", "no-tiling", "no-offset")
@@ -73,3 +73,23 @@ def test_full_mapping_dominates_ablations(benchmark, config_name, bench_triangle
     assert full >= results["no-offset"].min_utilization - 0.03
     if config_name == "LPDDR4-4266":
         assert full > results["no-offset"].min_utilization + 0.05
+
+
+@pytest.mark.paper_artifact("Sec. II ablation (sweep engine)")
+def test_ablation_grid_via_sweep_engine(benchmark, bench_triangle_n):
+    """The same grid through the parallel sweep harness.
+
+    Exercises :func:`repro.system.sweep.sweep_ablation` end to end with
+    the process-pool engine (all cores; serially equivalent on one) and
+    records the per-variant minima.
+    """
+    def run():
+        return sweep_ablation(config_names=CONFIGS, n=bench_triangle_n,
+                              variants=VARIANTS, policy=SHALLOW, jobs=0)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(points) == len(CONFIGS) * len(VARIANTS)
+    for point in points:
+        benchmark.extra_info[f"{point.config_name}:{point.variant}_min_pct"] = round(
+            point.min_utilization * 100, 2)
+        assert 0.0 < point.min_utilization <= 1.0

@@ -3,10 +3,15 @@
 Commands:
 
 * ``table1``    — regenerate the paper's Table I (any subset of configs)
+* ``ablation``  — per-optimization ablation of the optimized mapping
 * ``fig1``      — render the Fig. 1 mapping panels as text
 * ``downlink``  — run the optical-downlink reliability comparison
 * ``provision`` — size a DRAM system for a target line rate
 * ``configs``   — list the built-in device configurations
+
+Simulation grids (``table1``, ``ablation``) accept ``--jobs N`` to fan
+the (config x mapping x phase) work items out over N worker processes
+(``--jobs 0`` = all cores); results are identical to a serial run.
 
 Every command prints plain text and exits non-zero on bad arguments, so
 the CLI is scriptable from shell pipelines.
@@ -30,10 +35,21 @@ from repro.interleaver.two_stage import TwoStageConfig
 from repro.mapping.optimized import OptimizedMapping
 from repro.mapping.row_major import RowMajorMapping
 from repro.system.downlink import OpticalDownlink
-from repro.system.sweep import format_table1, run_table1
+from repro.system.sweep import (
+    ablation_factories,
+    format_table1,
+    run_table1,
+    sweep_ablation,
+)
 from repro.system.throughput import provision, throughput_report
 from repro.units import gbit_per_s
 from repro.viz import render_figure1
+
+
+def _add_jobs_argument(parser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the simulation grid "
+                             "(0 = all cores, default 1 = serial)")
 
 
 def _add_table1(subparsers) -> None:
@@ -44,6 +60,7 @@ def _add_table1(subparsers) -> None:
                         help="disable refresh (the paper's >99%% experiment)")
     parser.add_argument("--configs", nargs="*", metavar="NAME",
                         help="subset of configurations (default: all ten)")
+    _add_jobs_argument(parser)
     parser.set_defaults(func=_cmd_table1)
 
 
@@ -54,8 +71,44 @@ def _cmd_table1(args) -> int:
         print(f"error: unknown configurations {sorted(unknown)}", file=sys.stderr)
         return 2
     policy = ControllerConfig(refresh_enabled=not args.no_refresh)
-    rows = run_table1(n=args.n, config_names=names, policy=policy)
+    rows = run_table1(n=args.n, config_names=names, policy=policy, jobs=args.jobs)
     print(format_table1(rows))
+    return 0
+
+
+def _add_ablation(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "ablation", help="ablate the three mapping optimizations (Sec. II)")
+    parser.add_argument("--n", type=int, default=256,
+                        help="triangle dimension (default 256)")
+    parser.add_argument("--configs", nargs="*", metavar="NAME",
+                        help="configurations (default: DDR4-3200 LPDDR4-4266)")
+    parser.add_argument("--variants", nargs="*", metavar="VARIANT",
+                        help="subset of ablation variants (default: all)")
+    _add_jobs_argument(parser)
+    parser.set_defaults(func=_cmd_ablation)
+
+
+def _cmd_ablation(args) -> int:
+    names = tuple(args.configs) if args.configs else ("DDR4-3200", "LPDDR4-4266")
+    unknown = set(names) - set(TABLE1_CONFIG_NAMES)
+    if unknown:
+        print(f"error: unknown configurations {sorted(unknown)}", file=sys.stderr)
+        return 2
+    known_variants = ablation_factories()
+    variants = tuple(args.variants) if args.variants else tuple(known_variants)
+    unknown = set(variants) - set(known_variants)
+    if unknown:
+        print(f"error: unknown variants {sorted(unknown)}; "
+              f"known: {sorted(known_variants)}", file=sys.stderr)
+        return 2
+    points = sweep_ablation(config_names=names, n=args.n, variants=variants,
+                            jobs=args.jobs)
+    print(f"{'configuration':14s} {'variant':18s} {'write':>8s} {'read':>8s} {'min':>8s}")
+    for point in points:
+        print(f"{point.config_name:14s} {point.variant:18s} "
+              f"{point.write_utilization:8.2%} {point.read_utilization:8.2%} "
+              f"{point.min_utilization:8.2%}")
     return 0
 
 
@@ -187,6 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_table1(subparsers)
+    _add_ablation(subparsers)
     _add_fig1(subparsers)
     _add_downlink(subparsers)
     _add_provision(subparsers)

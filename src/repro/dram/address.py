@@ -141,3 +141,32 @@ class LinearDecoder:
     def decode_many(self, burst_indices: Iterable[int]) -> List[DramAddress]:
         """Decode a sequence of burst indices."""
         return [self.decode(index) for index in burst_indices]
+
+    def decode_arrays(self, burst_indices):
+        """Vectorized :meth:`decode` over an array of burst indices.
+
+        Args:
+            burst_indices: integer array (or sequence) of linear burst
+                indices.
+
+        Returns:
+            ``(bank, row, column)`` — three ``int64`` arrays, the
+        columnar form consumed by the controller's chunked intake.
+
+        Raises:
+            ValueError: if any index is outside the channel.
+        """
+        import numpy as np
+
+        indices = np.asarray(burst_indices, dtype=np.int64)
+        if indices.size and (
+            int(indices.min()) < 0 or int(indices.max()) >= self.total_bursts
+        ):
+            raise ValueError(
+                f"burst indices out of range [0, {self.total_bursts})"
+            )
+        values = {}
+        for token, shift, mask in self._fields:
+            values[token] = (indices >> shift) & mask
+        bank = values["Ba"] * self.geometry.bank_groups + values["Bg"]
+        return bank, values["Ro"], values["Co"]

@@ -80,6 +80,11 @@ def run_mixed_phase(
     n_banks = geometry.banks
     bank_groups = geometry.bank_groups
     burst = config.burst_duration_ps
+    # Same command-clock grid rule as the homogeneous scheduler: only
+    # quantize when the clock is exact on the integer-ps timeline (see
+    # repro.dram.controller); tck=1 degenerates to continuous slots.
+    tck = timing.tck if burst % timing.tck == 0 else 1
+    quant = tck > 1
 
     trp, trcd, tras = timing.trp, timing.trcd, timing.tras
     trrd_s, trrd_l, tfaw = timing.trrd_s, timing.trrd_l, timing.tfaw
@@ -163,11 +168,20 @@ def run_mixed_phase(
                     pres += 1
                     open_row[b] = None
                     prepared[b] = False
-                    ready = pre_allowed[b] + trp
+                    t_pre = pre_allowed[b]
+                    if quant:
+                        remainder = t_pre % tck
+                        if remainder:
+                            t_pre += tck - remainder
+                    ready = t_pre + trp
                 else:
                     ready = act_allowed[b]
                 if ready > ref_time:
                     ref_time = ready
+            if quant:
+                remainder = ref_time % tck
+                if remainder:
+                    ref_time += tck - remainder
             for b in event.banks:
                 open_row[b] = None
                 prepared[b] = False
@@ -198,7 +212,12 @@ def run_mixed_phase(
                 if current is None:
                     act_ready = act_allowed[b]
                 else:
-                    act_ready = pre_allowed[b] + trp
+                    t_pre = pre_allowed[b]
+                    if quant:
+                        remainder = t_pre % tck
+                        if remainder:
+                            t_pre += tck - remainder
+                    act_ready = t_pre + trp
                 if act_ready > horizon and b != forced_bank:
                     if act_ready < deferred_ready:
                         deferred_ready = act_ready
@@ -219,6 +238,10 @@ def run_mixed_phase(
                 t = faw_ring[faw_idx] + tfaw
                 if t > t_act:
                     t_act = t
+                if quant:
+                    remainder = t_act % tck
+                    if remainder:
+                        t_act += tck - remainder
                 faw_ring[faw_idx] = t_act
                 faw_idx = (faw_idx + 1) & 3
                 last_act = t_act
@@ -267,6 +290,10 @@ def run_mixed_phase(
                     t = last_rd_cmd + trtw
                     if t > t_cas:
                         t_cas = t
+            if quant:
+                remainder = t_cas % tck
+                if remainder:
+                    t_cas += tck - remainder
             if t_cas < best_cas or (t_cas == best_cas and seq_b < best_seq):
                 best_cas = t_cas
                 best_seq = seq_b

@@ -10,13 +10,23 @@ share a (bank, row, column) triple — which is property-tested in
 from __future__ import annotations
 
 import abc
-from typing import Iterator, Tuple
+from typing import Any, Iterator, Tuple
 
 from repro.dram.address import DramAddress
 from repro.dram.geometry import Geometry
+from repro.interleaver.triangular import DEFAULT_COORD_CHUNK
 
 #: The (bank, row, column) tuples the controller consumes.
 AddressTuple = Tuple[int, int, int]
+
+#: One columnar address chunk: (banks, rows, columns) int64 arrays.
+AddressArrays = Tuple[Any, Any, Any]
+
+#: Default chunk size (bursts) of the array traversal fast paths —
+#: bounded memory even at paper scale (12.5 M cells => ~48 chunks).
+#: Shared with the index spaces' coordinate iterators so both sides of
+#: the pipeline chunk identically.
+DEFAULT_CHUNK = DEFAULT_COORD_CHUNK
 
 
 class InterleaverMapping(abc.ABC):
@@ -31,6 +41,13 @@ class InterleaverMapping(abc.ABC):
 
     #: Short identifier used in benchmark tables.
     name: str = "abstract"
+
+    #: Whether :meth:`address_arrays` is a true NumPy kernel (overridden
+    #: by subclasses).  ``False`` means the array traversal falls back
+    #: to per-element :meth:`address_tuple` calls — correct, but slower
+    #: than the tuple iterators; the simulator then prefers the tuple
+    #: reference path unless arrays are requested explicitly.
+    vectorized: bool = False
 
     def __init__(self, space, geometry: Geometry):
         self.space = space
@@ -56,6 +73,81 @@ class InterleaverMapping(abc.ABC):
         address_tuple = self.address_tuple
         for i, j in self.space.read_order():
             yield address_tuple(i, j)
+
+    # -- vectorized traversal (columnar address chunks) -----------------
+
+    def address_arrays(self, i, j) -> AddressArrays:
+        """Physical addresses of coordinate arrays, columnar.
+
+        Args:
+            i, j: equal-length integer arrays of cell coordinates that
+                must lie inside the index space (traversal iterators
+                guarantee this; external callers can pre-check with
+                ``space.contains``).
+
+        Returns:
+            ``(bank, row, column)`` int64 arrays.
+
+        The base implementation is the per-element reference path;
+        subclasses with ``vectorized = True`` override it with a real
+        NumPy kernel and are property-tested against this one.
+        """
+        import numpy as np
+
+        address_tuple = self.address_tuple
+        triples = [address_tuple(int(ii), int(jj)) for ii, jj in zip(i, j)]
+        if not triples:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        banks, rows, columns = zip(*triples)
+        return (
+            np.asarray(banks, dtype=np.int64),
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(columns, dtype=np.int64),
+        )
+
+    def write_addresses_array(self, chunk_size: int = DEFAULT_CHUNK) -> Iterator[AddressArrays]:
+        """Write-order addresses as columnar array chunks.
+
+        Yields the exact address sequence of :meth:`write_addresses` in
+        ``(bank, row, column)`` array chunks of ``<= ~chunk_size``
+        bursts — the shape the controller's chunked intake consumes.
+        """
+        for i, j in self._coord_chunks(chunk_size, write=True):
+            yield self.address_arrays(i, j)
+
+    def read_addresses_array(self, chunk_size: int = DEFAULT_CHUNK) -> Iterator[AddressArrays]:
+        """Read-order addresses as columnar array chunks."""
+        for i, j in self._coord_chunks(chunk_size, write=False):
+            yield self.address_arrays(i, j)
+
+    def _coord_chunks(self, chunk_size: int, write: bool):
+        """Coordinate chunks from the space, or from the tuple order.
+
+        Index spaces expose ``write_coord_chunks`` / ``read_coord_chunks``
+        (see :mod:`repro.interleaver.triangular`); any other space is
+        chunked generically from its scalar traversal iterators.
+        """
+        import numpy as np
+
+        space = self.space
+        if write and hasattr(space, "write_coord_chunks"):
+            yield from space.write_coord_chunks(chunk_size)
+            return
+        if not write and hasattr(space, "read_coord_chunks"):
+            yield from space.read_coord_chunks(chunk_size)
+            return
+        order = space.write_order() if write else space.read_order()
+        buf_i = []
+        buf_j = []
+        for i, j in order:
+            buf_i.append(i)
+            buf_j.append(j)
+            if len(buf_i) >= chunk_size:
+                yield np.asarray(buf_i, dtype=np.int64), np.asarray(buf_j, dtype=np.int64)
+                buf_i, buf_j = [], []
+        if buf_i:
+            yield np.asarray(buf_i, dtype=np.int64), np.asarray(buf_j, dtype=np.int64)
 
     def rows_used(self) -> int:
         """Upper bound on distinct DRAM row indices the mapping uses.

@@ -143,6 +143,9 @@ class OptimizedMapping(InterleaverMapping):
         self._row_table: Optional[Dict[int, int]] = None
         if compact_rows:
             self._row_table = self._build_compact_rows()
+        # Lazily-built NumPy views used by the vectorized kernel.
+        self._np_offsets = None
+        self._np_row_table = None
         self.check_capacity()
 
     # -- public helpers -------------------------------------------------
@@ -239,6 +242,63 @@ class OptimizedMapping(InterleaverMapping):
         address_tuple = self.address_tuple
         for i, j in self.space.read_order():
             yield address_tuple(i, j)
+
+    # -- vectorized kernel ------------------------------------------------
+
+    vectorized = True
+
+    def address_arrays(self, i, j):
+        """NumPy mirror of :meth:`address_tuple` over coordinate arrays.
+
+        Coordinates must lie inside the index space (the traversal
+        iterators guarantee this); the per-element containment check of
+        :meth:`address_tuple` is skipped here, which is what makes the
+        kernel pure integer arithmetic.  Equivalence with the scalar
+        path is property-tested in ``tests/mapping/test_vectorized.py``.
+        """
+        import numpy as np
+
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        banks = self._banks
+        tile_h = self._tile_h
+        tile_w = self._tile_w
+
+        if self.enable_bank_rotation:
+            bank = (i + j) % banks
+        else:
+            bank = (i // tile_h + j // tile_w) % banks
+
+        if self._np_offsets is None:
+            self._np_offsets = (
+                np.asarray([d[0] for d in self._offsets], dtype=np.int64),
+                np.asarray([d[1] for d in self._offsets], dtype=np.int64),
+            )
+        delta_rows, delta_cols = self._np_offsets
+        si = (i + delta_rows[bank]) % self._h_pad
+        sj = (j + delta_cols[bank]) % self._w_pad
+
+        ti = si // tile_h
+        li = si - ti * tile_h
+        tj = sj // tile_w
+        lj = sj - tj * tile_w
+
+        if self.enable_bank_rotation:
+            column = li * self._wpb + lj // banks
+        else:
+            column = li * tile_w + lj
+
+        tile_id = ti * self._tiles_x + tj
+        if self._row_table is not None:
+            if self._np_row_table is None:
+                table = np.zeros(self._tiles_x * self._tiles_y, dtype=np.int64)
+                for tid, compact in self._row_table.items():
+                    table[tid] = compact
+                self._np_row_table = table
+            row = self._np_row_table[tile_id]
+        else:
+            row = tile_id
+        return bank, row, column
 
     # -- internals -----------------------------------------------------------
 

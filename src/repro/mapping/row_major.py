@@ -25,7 +25,7 @@ from typing import Iterator
 
 from repro.dram.address import DEFAULT_SCHEME, LinearDecoder
 from repro.dram.geometry import Geometry
-from repro.mapping.base import AddressTuple, InterleaverMapping
+from repro.mapping.base import DEFAULT_CHUNK, AddressTuple, InterleaverMapping
 
 
 class RowMajorMapping(InterleaverMapping):
@@ -84,6 +84,32 @@ class RowMajorMapping(InterleaverMapping):
                     break
                 address = decode(base + offsets[i] + j)
                 yield address.bank, address.row, address.column
+
+    # -- vectorized kernel ------------------------------------------------
+
+    vectorized = True
+
+    def address_arrays(self, i, j):
+        """Vectorized linearize-and-decode over coordinate arrays."""
+        return self.decoder.decode_arrays(
+            self.base_burst + self.space.linear_indices(i, j)
+        )
+
+    def write_addresses_array(self, chunk_size: int = DEFAULT_CHUNK):
+        """Sequential burst indices decoded in bulk (fastest path).
+
+        The write order is the linear order, so the coordinate step is
+        skipped entirely: chunks of ``arange`` decode straight to
+        columnar addresses.
+        """
+        import numpy as np
+
+        base = self.base_burst
+        total = self.space.num_elements
+        decode_arrays = self.decoder.decode_arrays
+        for start in range(0, total, chunk_size):
+            stop = min(start + chunk_size, total)
+            yield decode_arrays(np.arange(base + start, base + stop, dtype=np.int64))
 
     def rows_used(self) -> int:
         """Distinct DRAM rows touched (depends on the decoder scheme)."""

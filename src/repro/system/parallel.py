@@ -1,0 +1,126 @@
+"""Process-pool execution engine for simulation sweeps.
+
+A sweep (Table I, size sweeps, ablations) decomposes into independent
+``(configuration, mapping, phase)`` work items — each one a full
+controller simulation that holds the GIL for seconds.  This module
+fans those items out over a :class:`concurrent.futures.ProcessPoolExecutor`
+and reassembles the results in submission order, with a serial fallback
+when multiprocessing is unavailable (restricted environments) or not
+worth the fork cost (``jobs=1``, single-item sweeps).
+
+Work items are declarative (:class:`PhaseTask` names a preset config
+and a registry mapping key rather than holding live objects), so they
+pickle cheaply and each worker rebuilds its own space/mapping — no
+shared state, deterministic results, identical to the serial path.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.dram.controller import OP_READ, OP_WRITE, ControllerConfig
+from repro.dram.presets import get_config
+from repro.dram.simulator import simulate_phase
+from repro.dram.stats import PhaseStats
+from repro.interleaver.triangular import TriangularIndexSpace
+
+
+@dataclass(frozen=True)
+class PhaseTask:
+    """One independent simulation work item.
+
+    Attributes:
+        config_name: preset DRAM configuration name (see
+            :mod:`repro.dram.presets`).
+        mapping: mapping registry key (see
+            :func:`repro.system.sweep.mapping_registry`), e.g.
+            ``"row-major"``, ``"optimized"``, ``"no-tiling"``.
+        op: :data:`~repro.dram.controller.OP_WRITE` or
+            :data:`~repro.dram.controller.OP_READ`.
+        n: triangular interleaver dimension.
+        policy: optional controller policy overrides (picklable).
+        use_arrays: forwarded to :func:`~repro.dram.simulator.simulate_phase`
+            (``None`` = auto-select the vectorized path).
+    """
+
+    config_name: str
+    mapping: str
+    op: str
+    n: int
+    policy: Optional[ControllerConfig] = None
+    use_arrays: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in (OP_READ, OP_WRITE):
+            raise ValueError(f"op must be {OP_READ!r} or {OP_WRITE!r}, got {self.op!r}")
+        if self.n < 1:
+            raise ValueError(f"interleaver dimension must be >= 1, got {self.n}")
+
+
+def execute_phase_task(task: PhaseTask) -> PhaseStats:
+    """Run one :class:`PhaseTask` to completion (also the worker entry).
+
+    Raises:
+        KeyError: if ``task.config_name`` or ``task.mapping`` is not a
+            known registry key.
+    """
+    # Imported here to avoid a circular import at module load time
+    # (sweep builds tasks for this engine).
+    from repro.system.sweep import mapping_registry
+
+    registry = mapping_registry()
+    try:
+        factory = registry[task.mapping]
+    except KeyError:
+        known = ", ".join(sorted(registry))
+        raise KeyError(f"unknown mapping {task.mapping!r}; known: {known}") from None
+    config = get_config(task.config_name)
+    space = TriangularIndexSpace(task.n)
+    mapping = factory(space, config.geometry)
+    return simulate_phase(config, mapping, task.op, task.policy,
+                          use_arrays=task.use_arrays)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs``-style argument to a worker count.
+
+    ``None`` or ``1`` mean serial; ``0`` and negative values mean "all
+    cores" (the make/pytest-xdist convention); anything else is taken
+    literally.
+    """
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def run_phase_tasks(
+    tasks: Iterable[PhaseTask],
+    jobs: Optional[int] = None,
+) -> List[PhaseStats]:
+    """Execute tasks, parallel when asked, and return results in order.
+
+    Args:
+        tasks: work items; results come back in the same order.
+        jobs: worker processes (see :func:`resolve_jobs`).  With one
+            worker — or one task — everything runs in-process.
+
+    The process pool is an optimization, never a requirement: if worker
+    processes cannot be spawned (sandboxes, exotic start methods) the
+    engine silently degrades to the serial path, which produces the
+    identical result list.
+    """
+    task_list: Sequence[PhaseTask] = list(tasks)
+    workers = min(resolve_jobs(jobs), len(task_list))
+    if workers > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(execute_phase_task, task_list))
+        except (OSError, BrokenProcessPool, PermissionError):
+            pass  # fall through to the serial path
+    return [execute_phase_task(task) for task in task_list]

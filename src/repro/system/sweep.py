@@ -1,8 +1,14 @@
 """Parameter-sweep harness used by the benchmarks.
 
-Runs (configuration x mapping) grids and interleaver-size sweeps, and
-formats results as the paper's Table I.  Everything returns plain data
-structures so benchmarks and tests can assert on them directly.
+Runs (configuration x mapping) grids, interleaver-size sweeps and the
+ablation sweep, and formats results as the paper's Table I.  Everything
+returns plain data structures so benchmarks and tests can assert on
+them directly.
+
+Sweeps decompose into independent ``(config, mapping, phase)`` work
+items executed by :mod:`repro.system.parallel` — pass ``jobs`` to fan
+a grid out over worker processes (``0`` = all cores); the default stays
+serial and produces identical results.
 """
 
 from __future__ import annotations
@@ -10,13 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.dram.controller import ControllerConfig
+from repro.dram.controller import OP_READ, OP_WRITE, ControllerConfig
 from repro.dram.presets import TABLE1_CONFIG_NAMES, DramConfig, get_config
 from repro.dram.simulator import InterleaverSimResult, simulate_interleaver
 from repro.interleaver.triangular import TriangularIndexSpace
 from repro.mapping.base import InterleaverMapping
 from repro.mapping.optimized import OptimizedMapping
 from repro.mapping.row_major import RowMajorMapping
+from repro.system.parallel import PhaseTask, run_phase_tasks
 
 #: Mapping factory signature: (space, geometry) -> mapping.
 MappingFactory = Callable[[TriangularIndexSpace, object], InterleaverMapping]
@@ -30,6 +37,35 @@ def default_mappings() -> Dict[str, MappingFactory]:
             space, geometry, prefer_tall=False
         ),
     }
+
+
+def ablation_factories() -> Dict[str, MappingFactory]:
+    """Optimized-mapping variants with each optimization toggled off."""
+    def make(**kwargs) -> MappingFactory:
+        return lambda space, geometry: OptimizedMapping(
+            space, geometry, prefer_tall=False, **kwargs
+        )
+
+    return {
+        "full": make(),
+        "no-bank-rotation": make(enable_bank_rotation=False),
+        "no-tiling": make(enable_tiling=False),
+        "no-offset": make(enable_offset=False),
+        "tiling-only": make(enable_bank_rotation=False, enable_offset=False),
+        "rotation-only": make(enable_tiling=False, enable_offset=False),
+    }
+
+
+def mapping_registry() -> Dict[str, MappingFactory]:
+    """All named mapping factories known to the sweep/parallel engine.
+
+    Worker processes resolve :class:`~repro.system.parallel.PhaseTask`
+    mapping keys through this registry, so everything listed here can be
+    dispatched by name across process boundaries.
+    """
+    registry = dict(default_mappings())
+    registry.update(ablation_factories())
+    return registry
 
 
 @dataclass(frozen=True)
@@ -60,47 +96,79 @@ def run_table1(
     n: int = 512,
     config_names: Sequence[str] = TABLE1_CONFIG_NAMES,
     policy: Optional[ControllerConfig] = None,
+    jobs: Optional[int] = None,
+    use_arrays: Optional[bool] = None,
 ) -> List[Table1Row]:
     """Regenerate Table I at triangle size ``n``.
 
     The paper uses 12.5 M elements (``n = 5000``); the default ``n=512``
-    (~131 k elements) keeps the pure-Python run in minutes while the
-    utilizations are already within a few percent of the large-size
-    values (see ``benchmarks/bench_interleaver_size.py``).
+    (~131 k elements) keeps the run fast while the utilizations are
+    already within a few percent of the large-size values (see
+    ``benchmarks/bench_interleaver_size.py``).
+
+    Args:
+        n: triangular interleaver dimension.
+        config_names: subset of Table I configurations to run.
+        policy: controller policy overrides applied to every cell.
+        jobs: worker processes for the grid (``None``/``1`` serial,
+            ``0`` = all cores).
+        use_arrays: forwarded to the simulator (``None`` auto-selects
+            the vectorized address path).
     """
-    space = TriangularIndexSpace(n)
-    mappings = default_mappings()
+    mapping_names = ("row-major", "optimized")
+    ops = (OP_WRITE, OP_READ)
+    tasks = [
+        PhaseTask(config_name=config_name, mapping=mapping_name, op=op, n=n,
+                  policy=policy, use_arrays=use_arrays)
+        for config_name in config_names
+        for mapping_name in mapping_names
+        for op in ops
+    ]
+    stats = run_phase_tasks(tasks, jobs=jobs)
     rows = []
-    for name in config_names:
-        config = get_config(name)
-        row_major = simulate_interleaver(
-            config, mappings["row-major"](space, config.geometry), policy
-        )
-        optimized = simulate_interleaver(
-            config, mappings["optimized"](space, config.geometry), policy
-        )
-        rows.append(Table1Row(config_name=name, row_major=row_major, optimized=optimized))
+    cursor = 0
+    for config_name in config_names:
+        results = {}
+        for mapping_name in mapping_names:
+            write, read = stats[cursor], stats[cursor + 1]
+            cursor += 2
+            results[mapping_name] = InterleaverSimResult(
+                config_name=config_name,
+                mapping_name=mapping_name,
+                write=write,
+                read=read,
+            )
+        rows.append(Table1Row(config_name=config_name,
+                              row_major=results["row-major"],
+                              optimized=results["optimized"]))
     return rows
 
 
 def format_table1(rows: Sequence[Table1Row]) -> str:
-    """Render rows in the layout of the paper's Table I."""
+    """Render rows in the layout of the paper's Table I.
+
+    The throughput-limiting phase of each mapping is starred.  The
+    limiter is picked *by index* (write unless the read utilization is
+    strictly lower), never by comparing floats for equality — value
+    comparison used to star both phases on exact ties and, after float
+    round-trips, sometimes neither.
+    """
     lines = [
         "DRAM           Row-Major Mapping     Optimized Mapping",
         "Configuration  Write      Read       Write      Read",
     ]
     for row in rows:
-        rm_w, rm_r, opt_w, opt_r = row.cells()
-        rm_bold = min(rm_w, rm_r)
-        opt_bold = min(opt_w, opt_r)
+        cells = row.cells()
 
-        def mark(value: float, bold: float) -> str:
-            tag = "*" if value == bold else " "
-            return f"{value:8.2%}{tag}"
+        def mark(index: int, limit_index: int) -> str:
+            tag = "*" if index == limit_index else " "
+            return f"{cells[index]:8.2%}{tag}"
 
+        rm_limit = 0 if cells[0] <= cells[1] else 1
+        opt_limit = 2 if cells[2] <= cells[3] else 3
         lines.append(
-            f"{row.config_name:14s} {mark(rm_w, rm_bold)} {mark(rm_r, rm_bold)} "
-            f"{mark(opt_w, opt_bold)} {mark(opt_r, opt_bold)}"
+            f"{row.config_name:14s} {mark(0, rm_limit)} {mark(1, rm_limit)} "
+            f"{mark(2, opt_limit)} {mark(3, opt_limit)}"
         )
     lines.append("(* = phase that limits interleaver throughput)")
     return "\n".join(lines)
@@ -126,9 +194,47 @@ def sweep_sizes(
     sizes: Sequence[int],
     mapping_factories: Optional[Dict[str, MappingFactory]] = None,
     policy: Optional[ControllerConfig] = None,
+    jobs: Optional[int] = None,
 ) -> List[SizeSweepPoint]:
-    """Utilization vs. interleaver dimension (paper: "differ only slightly")."""
+    """Utilization vs. interleaver dimension (paper: "differ only slightly").
+
+    With ``jobs`` set, the (size x mapping) grid fans out over worker
+    processes when the default Table I mappings are swept on a preset
+    configuration; custom factories or configurations fall back to the
+    serial path (callables do not travel across processes).
+    """
     factories = mapping_factories or default_mappings()
+    parallelizable = (
+        mapping_factories is None and config.name in TABLE1_CONFIG_NAMES
+    )
+    if parallelizable:
+        names = list(factories)
+        tasks = [
+            PhaseTask(config_name=config.name, mapping=name, op=op, n=n,
+                      policy=policy)
+            for n in sizes
+            for name in names
+            for op in (OP_WRITE, OP_READ)
+        ]
+        stats = run_phase_tasks(tasks, jobs=jobs)
+        points = []
+        cursor = 0
+        for n in sizes:
+            elements = TriangularIndexSpace(n).num_elements
+            for name in names:
+                write, read = stats[cursor], stats[cursor + 1]
+                cursor += 2
+                points.append(
+                    SizeSweepPoint(
+                        n=n,
+                        elements=elements,
+                        mapping_name=name,
+                        write_utilization=write.utilization,
+                        read_utilization=read.utilization,
+                    )
+                )
+        return points
+
     points = []
     for n in sizes:
         space = TriangularIndexSpace(n)
@@ -146,18 +252,74 @@ def sweep_sizes(
     return points
 
 
-def ablation_factories() -> Dict[str, MappingFactory]:
-    """Optimized-mapping variants with each optimization toggled off."""
-    def make(**kwargs) -> MappingFactory:
-        return lambda space, geometry: OptimizedMapping(
-            space, geometry, prefer_tall=False, **kwargs
-        )
+@dataclass(frozen=True)
+class AblationPoint:
+    """One (configuration, variant) sample of the ablation sweep."""
 
-    return {
-        "full": make(),
-        "no-bank-rotation": make(enable_bank_rotation=False),
-        "no-tiling": make(enable_tiling=False),
-        "no-offset": make(enable_offset=False),
-        "tiling-only": make(enable_bank_rotation=False, enable_offset=False),
-        "rotation-only": make(enable_tiling=False, enable_offset=False),
-    }
+    config_name: str
+    variant: str
+    write_utilization: float
+    read_utilization: float
+
+    @property
+    def min_utilization(self) -> float:
+        """The throughput-limiting utilization of the variant."""
+        return min(self.write_utilization, self.read_utilization)
+
+
+#: Ablation sweeps default to shallow, hardware-realistic queues: with
+#: deep queues a clever scheduler can partially reconstruct the bank
+#: rotation by reordering, masking exactly the effect being measured.
+ABLATION_POLICY = ControllerConfig(queue_depth=16, per_bank_depth=16)
+
+
+def sweep_ablation(
+    config_names: Sequence[str] = ("DDR4-3200", "LPDDR4-4266"),
+    n: int = 256,
+    variants: Optional[Sequence[str]] = None,
+    policy: Optional[ControllerConfig] = None,
+    jobs: Optional[int] = None,
+) -> List[AblationPoint]:
+    """Quantify each optimization's contribution (paper Sec. II).
+
+    Args:
+        config_names: configurations to ablate on (default: the two most
+            mapping-sensitive ones).
+        n: triangular interleaver dimension.
+        variants: subset of :func:`ablation_factories` keys (default:
+            all six).
+        policy: controller policy; ``None`` selects the shallow-queue
+            :data:`ABLATION_POLICY` (deep queues would mask the very
+            effects the ablation measures — pass an explicit
+            ``ControllerConfig()`` to get them anyway).
+        jobs: worker processes (``None``/``1`` serial, ``0`` = all cores).
+    """
+    if policy is None:
+        policy = ABLATION_POLICY
+    variant_names = list(variants) if variants is not None else list(ablation_factories())
+    known = ablation_factories()
+    unknown = [v for v in variant_names if v not in known]
+    if unknown:
+        raise KeyError(f"unknown ablation variants {unknown}; known: {sorted(known)}")
+    tasks = [
+        PhaseTask(config_name=config_name, mapping=variant, op=op, n=n, policy=policy)
+        for config_name in config_names
+        for variant in variant_names
+        for op in (OP_WRITE, OP_READ)
+    ]
+    stats = run_phase_tasks(tasks, jobs=jobs)
+    points = []
+    cursor = 0
+    for config_name in config_names:
+        for variant in variant_names:
+            write, read = stats[cursor], stats[cursor + 1]
+            cursor += 2
+            points.append(
+                AblationPoint(
+                    config_name=config_name,
+                    variant=variant,
+                    write_utilization=write.utilization,
+                    read_utilization=read.utilization,
+                )
+            )
+    return points

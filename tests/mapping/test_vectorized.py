@@ -1,0 +1,195 @@
+"""Vectorized address kernels must mirror the scalar reference path.
+
+Every mapping exposes the same address stream three ways: per-element
+tuples (`write_addresses`/`read_addresses`), a scalar kernel
+(`address_tuple`) and columnar array chunks
+(`write_addresses_array`/`read_addresses_array`).  These tests pin the
+bit-identical agreement of all three for triangular and rectangular
+spaces across every ablation switch, plus the space-level coordinate
+chunking and the decoder's bulk path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dram.address import (
+    BANK_LOW_SCHEME,
+    DEFAULT_SCHEME,
+    PAGE_CONTIGUOUS_SCHEME,
+    LinearDecoder,
+)
+from repro.dram.presets import get_config
+from repro.interleaver.triangular import RectangularIndexSpace, TriangularIndexSpace
+from repro.mapping.base import InterleaverMapping
+from repro.mapping.optimized import OptimizedMapping
+from repro.mapping.row_major import RowMajorMapping
+
+GEOMETRY = get_config("DDR4-3200").geometry
+
+
+def flatten(chunks):
+    """Materialize array chunks into a tuple list (and check dtypes)."""
+    out = []
+    for banks, rows, columns in chunks:
+        assert banks.dtype == np.int64 and rows.dtype == np.int64
+        assert len(banks) == len(rows) == len(columns)
+        out.extend(zip(banks.tolist(), rows.tolist(), columns.tolist()))
+    return out
+
+
+SPACES = [TriangularIndexSpace(48), RectangularIndexSpace(24, 40)]
+
+OPTIMIZED_VARIANTS = {
+    "full": {},
+    "no-bank-rotation": {"enable_bank_rotation": False},
+    "no-tiling": {"enable_tiling": False},
+    "no-offset": {"enable_offset": False},
+    "tiling-only": {"enable_bank_rotation": False, "enable_offset": False},
+    "rotation-only": {"enable_tiling": False, "enable_offset": False},
+    "prefer-tall": {"prefer_tall": True},
+    "compact-rows": {"compact_rows": True},
+}
+
+
+class TestOptimizedKernel:
+    @pytest.mark.parametrize("space", SPACES, ids=lambda s: repr(s))
+    @pytest.mark.parametrize("variant", sorted(OPTIMIZED_VARIANTS))
+    def test_streams_identical(self, space, variant):
+        kwargs = {"prefer_tall": False, **OPTIMIZED_VARIANTS[variant]}
+        mapping = OptimizedMapping(space, GEOMETRY, **kwargs)
+        assert mapping.vectorized
+        assert flatten(mapping.write_addresses_array(chunk_size=257)) == list(
+            mapping.write_addresses())
+        assert flatten(mapping.read_addresses_array(chunk_size=257)) == list(
+            mapping.read_addresses())
+
+    def test_kernel_matches_scalar_pointwise(self, small_triangle):
+        mapping = OptimizedMapping(small_triangle, GEOMETRY, prefer_tall=False)
+        i = np.asarray([0, 1, 5, 20, 47, 0], dtype=np.int64)
+        j = np.asarray([0, 3, 7, 11, 0, 47], dtype=np.int64)
+        banks, rows, columns = mapping.address_arrays(i, j)
+        for k in range(len(i)):
+            assert mapping.address_tuple(int(i[k]), int(j[k])) == (
+                int(banks[k]), int(rows[k]), int(columns[k]))
+
+
+class TestRowMajorKernel:
+    @pytest.mark.parametrize("space", SPACES, ids=lambda s: repr(s))
+    @pytest.mark.parametrize(
+        "scheme", [DEFAULT_SCHEME, PAGE_CONTIGUOUS_SCHEME, BANK_LOW_SCHEME])
+    def test_streams_identical(self, space, scheme):
+        mapping = RowMajorMapping(space, GEOMETRY, scheme=scheme)
+        assert mapping.vectorized
+        assert flatten(mapping.write_addresses_array(chunk_size=123)) == list(
+            mapping.write_addresses())
+        assert flatten(mapping.read_addresses_array(chunk_size=123)) == list(
+            mapping.read_addresses())
+
+    def test_base_burst_offset(self, small_triangle):
+        mapping = RowMajorMapping(small_triangle, GEOMETRY, base_burst=4096)
+        assert flatten(mapping.write_addresses_array(chunk_size=100)) == list(
+            mapping.write_addresses())
+
+
+class TestDecoderArrays:
+    @pytest.mark.parametrize(
+        "scheme", [DEFAULT_SCHEME, PAGE_CONTIGUOUS_SCHEME, BANK_LOW_SCHEME])
+    def test_matches_scalar_decode(self, scheme):
+        decoder = LinearDecoder(GEOMETRY, scheme)
+        indices = np.asarray([0, 1, 17, 4096, decoder.total_bursts - 1], dtype=np.int64)
+        banks, rows, columns = decoder.decode_arrays(indices)
+        for k, index in enumerate(indices.tolist()):
+            address = decoder.decode(index)
+            assert (address.bank, address.row, address.column) == (
+                int(banks[k]), int(rows[k]), int(columns[k]))
+
+    def test_rejects_out_of_range(self):
+        decoder = LinearDecoder(GEOMETRY)
+        with pytest.raises(ValueError):
+            decoder.decode_arrays([0, decoder.total_bursts])
+        with pytest.raises(ValueError):
+            decoder.decode_arrays([-1])
+
+    def test_empty_input(self):
+        decoder = LinearDecoder(GEOMETRY)
+        banks, rows, columns = decoder.decode_arrays([])
+        assert len(banks) == len(rows) == len(columns) == 0
+
+
+class TestCoordChunks:
+    @pytest.mark.parametrize("space", SPACES, ids=lambda s: repr(s))
+    def test_write_chunks_cover_write_order(self, space):
+        coords = [(int(i), int(j))
+                  for ii, jj in space.write_coord_chunks(chunk_size=100)
+                  for i, j in zip(ii, jj)]
+        assert coords == list(space.write_order())
+
+    @pytest.mark.parametrize("space", SPACES, ids=lambda s: repr(s))
+    def test_read_chunks_cover_read_order(self, space):
+        coords = [(int(i), int(j))
+                  for ii, jj in space.read_coord_chunks(chunk_size=100)
+                  for i, j in zip(ii, jj)]
+        assert coords == list(space.read_order())
+
+    @pytest.mark.parametrize("space", SPACES, ids=lambda s: repr(s))
+    def test_chunks_are_bounded(self, space):
+        width = max(space.width, space.height)
+        for ii, _jj in space.write_coord_chunks(chunk_size=64):
+            # Whole major-axis lines are appended before the size check,
+            # so a chunk may overshoot by at most one line.
+            assert len(ii) <= 64 + width
+
+    @pytest.mark.parametrize("space", SPACES, ids=lambda s: repr(s))
+    def test_linear_indices_vectorize_linear_index(self, space):
+        cells = list(space.write_order())[:200]
+        i = np.asarray([c[0] for c in cells], dtype=np.int64)
+        j = np.asarray([c[1] for c in cells], dtype=np.int64)
+        expected = [space.linear_index(int(a), int(b)) for a, b in cells]
+        assert space.linear_indices(i, j).tolist() == expected
+
+    def test_linear_indices_reject_outside(self, small_triangle):
+        with pytest.raises(ValueError):
+            small_triangle.linear_indices([0, 47], [0, 1])
+
+
+class TestBaseFallback:
+    """Mappings without a NumPy kernel still get a correct array path."""
+
+    def test_reference_array_path(self, small_triangle):
+        class ShiftMapping(InterleaverMapping):
+            name = "shift"
+
+            def address_tuple(self, i, j):
+                return (i + j) % self.geometry.banks, i, j % 8
+
+        mapping = ShiftMapping(small_triangle, GEOMETRY)
+        assert not mapping.vectorized
+        assert flatten(mapping.write_addresses_array(chunk_size=97)) == list(
+            mapping.write_addresses())
+        assert flatten(mapping.read_addresses_array(chunk_size=97)) == list(
+            mapping.read_addresses())
+
+    def test_generic_space_without_coord_chunks(self):
+        class TinySpace:
+            height = 4
+            width = 4
+            num_elements = 16
+
+            def contains(self, i, j):
+                return 0 <= i < 4 and 0 <= j < 4
+
+            def write_order(self):
+                return ((i, j) for i in range(4) for j in range(4))
+
+            def read_order(self):
+                return ((i, j) for j in range(4) for i in range(4))
+
+        class PlainMapping(InterleaverMapping):
+            name = "plain"
+
+            def address_tuple(self, i, j):
+                return 0, i, j
+
+        mapping = PlainMapping(TinySpace(), GEOMETRY)
+        assert flatten(mapping.write_addresses_array(chunk_size=5)) == list(
+            mapping.write_addresses())

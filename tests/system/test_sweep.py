@@ -4,11 +4,16 @@ import pytest
 
 from repro.dram.controller import ControllerConfig
 from repro.dram.presets import get_config
+from repro.dram.stats import PhaseStats
+from repro.dram.simulator import InterleaverSimResult
 from repro.system.sweep import (
+    Table1Row,
     ablation_factories,
     default_mappings,
     format_table1,
+    mapping_registry,
     run_table1,
+    sweep_ablation,
     sweep_sizes,
 )
 
@@ -52,6 +57,41 @@ class TestFormat:
         lines = format_table1(small_rows).splitlines()
         assert len(lines) == 2 + len(small_rows) + 1
 
+    @staticmethod
+    def _synthetic_row(rm_write, rm_read, opt_write, opt_read):
+        def stats(utilization):
+            # makespan chosen so data_time / makespan == utilization
+            return PhaseStats(requests=10, data_time_ps=int(utilization * 10**6),
+                              makespan_ps=10**6)
+
+        def result(name, write, read):
+            return InterleaverSimResult(config_name="SYN", mapping_name=name,
+                                        write=stats(write), read=stats(read))
+
+        return Table1Row(config_name="SYN",
+                         row_major=result("row-major", rm_write, rm_read),
+                         optimized=result("optimized", opt_write, opt_read))
+
+    def test_tie_stars_exactly_one_phase(self):
+        """Equal write/read utilization used to star both columns (float
+        equality against the min); the limiter is picked by index now."""
+        row = self._synthetic_row(0.5, 0.5, 0.75, 0.75)
+        line = format_table1([row]).splitlines()[2]
+        assert line.count("*") == 2  # one per mapping, not two
+        rm_cells, opt_cells = line[15:36], line[37:]
+        assert rm_cells.count("*") == 1
+        assert opt_cells.count("*") == 1
+
+    def test_star_follows_the_minimum(self):
+        row = self._synthetic_row(0.9, 0.4, 0.3, 0.8)
+        line = format_table1([row]).splitlines()[2]
+        starred = [i for i, char in enumerate(line) if char == "*"]
+        assert len(starred) == 2
+        # read is the row-major limiter, write the optimized one
+        assert "40.00%*" in line
+        assert "30.00%*" in line
+        assert "90.00%*" not in line
+
 
 class TestSizeSweep:
     def test_points_cover_grid(self):
@@ -73,10 +113,61 @@ class TestSizeSweep:
                                             point.read_utilization)
 
 
+class TestParallelPlumbing:
+    def test_run_table1_jobs_matches_serial(self):
+        serial = run_table1(n=40, config_names=("DDR3-800",), jobs=1)
+        parallel = run_table1(n=40, config_names=("DDR3-800",), jobs=2)
+        assert serial[0].cells() == parallel[0].cells()
+
+    def test_sweep_sizes_jobs_matches_serial(self):
+        config = get_config("DDR3-800")
+        serial = sweep_sizes(config, sizes=(32, 40), jobs=1)
+        parallel = sweep_sizes(config, sizes=(32, 40), jobs=2)
+        assert serial == parallel
+
+    def test_tuple_and_array_table1_agree(self):
+        arrays = run_table1(n=40, config_names=("DDR4-3200",), use_arrays=True)
+        tuples = run_table1(n=40, config_names=("DDR4-3200",), use_arrays=False)
+        assert arrays[0].cells() == tuples[0].cells()
+
+
+class TestAblationSweep:
+    def test_covers_grid(self):
+        points = sweep_ablation(config_names=("DDR4-3200",), n=40,
+                                variants=("full", "no-tiling"))
+        assert [(p.config_name, p.variant) for p in points] == [
+            ("DDR4-3200", "full"), ("DDR4-3200", "no-tiling")]
+        for point in points:
+            assert 0.0 < point.min_utilization <= 1.0
+
+    def test_tiling_matters_on_read(self):
+        points = {p.variant: p for p in sweep_ablation(
+            config_names=("DDR4-3200",), n=64, variants=("full", "no-tiling"))}
+        assert (points["full"].read_utilization
+                > points["no-tiling"].read_utilization)
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            sweep_ablation(config_names=("DDR4-3200",), n=32,
+                           variants=("bogus",))
+
+    def test_jobs_matches_serial(self):
+        serial = sweep_ablation(config_names=("DDR4-3200",), n=32,
+                                variants=("full",), jobs=1)
+        parallel = sweep_ablation(config_names=("DDR4-3200",), n=32,
+                                  variants=("full",), jobs=2)
+        assert serial == parallel
+
+
 class TestFactories:
     def test_default_mappings(self):
         factories = default_mappings()
         assert set(factories) == {"row-major", "optimized"}
+
+    def test_registry_covers_defaults_and_ablations(self):
+        registry = mapping_registry()
+        assert set(default_mappings()) <= set(registry)
+        assert set(ablation_factories()) <= set(registry)
 
     def test_ablation_factories_build(self):
         from repro.interleaver.triangular import TriangularIndexSpace

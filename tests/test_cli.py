@@ -14,7 +14,8 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("table1", "fig1", "downlink", "provision", "configs"):
+        for command in ("table1", "ablation", "fig1", "downlink", "provision",
+                        "configs"):
             assert command in text
 
 
@@ -40,6 +41,32 @@ class TestTable1:
     def test_no_refresh_flag(self, capsys):
         assert main(["table1", "--n", "48", "--no-refresh",
                      "--configs", "DDR3-800"]) == 0
+        capsys.readouterr()
+
+    def test_jobs_flag(self, capsys):
+        assert main(["table1", "--n", "48", "--configs", "DDR3-800",
+                     "--jobs", "2"]) == 0
+        assert "DDR3-800" in capsys.readouterr().out
+
+
+class TestAblation:
+    def test_runs_variants(self, capsys):
+        assert main(["ablation", "--n", "48", "--configs", "DDR4-3200",
+                     "--variants", "full", "no-tiling"]) == 0
+        out = capsys.readouterr().out
+        assert "full" in out and "no-tiling" in out
+
+    def test_unknown_config_fails(self, capsys):
+        assert main(["ablation", "--configs", "DDR9-1"]) == 2
+        assert "unknown configurations" in capsys.readouterr().err
+
+    def test_unknown_variant_fails(self, capsys):
+        assert main(["ablation", "--variants", "half-tiling"]) == 2
+        assert "unknown variants" in capsys.readouterr().err
+
+    def test_jobs_flag(self, capsys):
+        assert main(["ablation", "--n", "32", "--configs", "DDR4-3200",
+                     "--variants", "full", "--jobs", "2"]) == 0
         capsys.readouterr()
 
 
