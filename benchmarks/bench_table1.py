@@ -93,8 +93,11 @@ def test_table1_pipeline_speedup(benchmark):
     def vectorized():
         return run_table1(n=n, use_arrays=True)
 
+    # Wall-clock around pedantic: benchmark.stats is unavailable under
+    # --benchmark-disable (the CI smoke run), a plain timer always is.
+    t1b = time.perf_counter()
     array_rows = benchmark.pedantic(vectorized, rounds=1, iterations=1)
-    array_seconds = benchmark.stats.stats.total
+    array_seconds = time.perf_counter() - t1b
 
     assert [r.cells() for r in array_rows] == [r.cells() for r in tuple_rows]
 
@@ -120,4 +123,5 @@ def test_table1_pipeline_speedup(benchmark):
     # noisy host; the honest numbers live in extra_info.  The full
     # pipeline factor (x3+ vs the pre-pipeline seed) additionally needs
     # --jobs on multicore hosts, recorded above when available.
-    assert speedup > 1.1
+    if not benchmark.disabled:  # smoke runs only check for rot, not timing
+        assert speedup > 1.1

@@ -2,10 +2,15 @@
 
 from repro.channel.burst_stats import (
     BurstProfile,
+    FrameBurstArrays,
     burst_profile,
+    burst_profiles_from_positions,
     codeword_failure_rate,
     dispersion_gain,
     errors_per_codeword,
+    errors_per_codeword_frames,
+    frame_burst_arrays,
+    frame_burst_profiles,
     run_length_histogram,
     worst_window_errors,
 )
@@ -13,7 +18,9 @@ from repro.channel.codeword import (
     CodewordConfig,
     DecodingReport,
     decode_mask,
+    decode_masks,
     random_burst_tolerance,
+    report_from_counts,
 )
 from repro.channel.gilbert_elliott import (
     BAD,
@@ -26,18 +33,25 @@ from repro.channel.gilbert_elliott import (
 __all__ = [
     "BAD",
     "BurstProfile",
+    "FrameBurstArrays",
     "CodewordConfig",
     "DecodingReport",
     "GOOD",
     "GilbertElliottChannel",
     "GilbertElliottParams",
     "burst_profile",
+    "burst_profiles_from_positions",
     "codeword_failure_rate",
     "coherence_params",
     "decode_mask",
+    "decode_masks",
     "dispersion_gain",
     "errors_per_codeword",
+    "errors_per_codeword_frames",
+    "frame_burst_arrays",
+    "frame_burst_profiles",
     "random_burst_tolerance",
+    "report_from_counts",
     "run_length_histogram",
     "worst_window_errors",
 ]

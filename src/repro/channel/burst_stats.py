@@ -92,6 +92,131 @@ def errors_per_codeword(mask: np.ndarray, codeword_symbols: int) -> np.ndarray:
     return mask[: full * codeword_symbols].reshape(full, codeword_symbols).sum(axis=1)
 
 
+def errors_per_codeword_frames(masks: np.ndarray, codeword_symbols: int) -> np.ndarray:
+    """Batched :func:`errors_per_codeword` over stacked frame masks.
+
+    Args:
+        masks: boolean array of shape ``(frames, symbols)``.
+        codeword_symbols: symbols per code word; a trailing partial
+            code word in each frame is ignored.
+
+    Returns:
+        ``int64`` array of shape ``(frames, full_codewords)``; row ``f``
+        equals ``errors_per_codeword(masks[f], codeword_symbols)``.
+    """
+    if codeword_symbols < 1:
+        raise ValueError(f"codeword_symbols must be >= 1, got {codeword_symbols}")
+    masks = np.asarray(masks, dtype=bool)
+    if masks.ndim != 2:
+        raise ValueError(f"masks must be 2-D (frames, symbols), got shape {masks.shape}")
+    frames, symbols = masks.shape
+    full = symbols // codeword_symbols
+    if full == 0:
+        return np.zeros((frames, 0), dtype=np.int64)
+    trimmed = masks[:, : full * codeword_symbols]
+    return trimmed.reshape(frames, full, codeword_symbols).sum(axis=2, dtype=np.int64)
+
+
+def frame_burst_profiles(masks: np.ndarray) -> List[BurstProfile]:
+    """Per-frame :class:`BurstProfile` of stacked masks, in one pass.
+
+    Rows of ``masks`` are independent frames: a burst never spans two
+    frames.  Entry ``f`` is bit-identical to ``burst_profile(masks[f])``;
+    the run-length analysis works on the sparse error positions, so the
+    cost beyond one ``nonzero`` scan grows with the number of errors,
+    not the mask size (burst channels of interest are sparse).
+    """
+    masks = np.asarray(masks, dtype=bool)
+    if masks.ndim != 2:
+        raise ValueError(f"masks must be 2-D (frames, symbols), got shape {masks.shape}")
+    frame_idx, sym_idx = np.nonzero(masks)
+    return burst_profiles_from_positions(frame_idx, sym_idx,
+                                         masks.shape[0], masks.shape[1])
+
+
+@dataclass(frozen=True)
+class FrameBurstArrays:
+    """Columnar per-frame burst statistics of an error-mask batch.
+
+    The array form of a list of :class:`BurstProfile` — what the
+    campaign hot path aggregates without building per-frame objects.
+    Attributes are indexed by frame:
+
+    Attributes:
+        symbols: mask length common to all frames.
+        error_counts: corrupted symbols per frame.
+        burst_counts: maximal error runs per frame.
+        max_lengths: longest error run per frame.
+        mean_lengths: average error run length per frame (0 where the
+            frame has no bursts).
+    """
+
+    symbols: int
+    error_counts: np.ndarray
+    burst_counts: np.ndarray
+    max_lengths: np.ndarray
+    mean_lengths: np.ndarray
+
+    @property
+    def frames(self) -> int:
+        return self.error_counts.size
+
+    def profiles(self) -> List[BurstProfile]:
+        """Expand to per-frame :class:`BurstProfile` objects."""
+        return [
+            BurstProfile(
+                total_symbols=self.symbols,
+                error_symbols=int(self.error_counts[f]),
+                burst_count=int(self.burst_counts[f]),
+                max_burst=int(self.max_lengths[f]),
+                mean_burst=float(self.mean_lengths[f]),
+            )
+            for f in range(self.frames)
+        ]
+
+
+def frame_burst_arrays(frame_idx: np.ndarray, sym_idx: np.ndarray,
+                       frames: int, symbols: int) -> FrameBurstArrays:
+    """Per-frame burst statistics from sorted sparse error positions.
+
+    Args:
+        frame_idx, sym_idx: coordinates of the ``True`` cells of a
+            ``(frames, symbols)`` error-mask batch, in row-major order
+            (exactly what ``np.nonzero`` yields).
+        frames, symbols: batch shape.
+    """
+    error_counts = np.bincount(frame_idx, minlength=frames)
+    if frame_idx.size == 0:
+        zeros = np.zeros(frames, dtype=np.int64)
+        return FrameBurstArrays(symbols, error_counts, zeros, zeros,
+                                np.zeros(frames, dtype=np.float64))
+    # Flatten with one separator slot per frame so runs cannot bridge
+    # frames; a burst is then a maximal span of consecutive flat
+    # positions, found by one gap scan over the sparse coordinates.
+    flat = frame_idx * (symbols + 1) + sym_idx
+    is_start = np.empty(flat.size, dtype=bool)
+    is_start[0] = True
+    np.not_equal(flat[1:], flat[:-1] + 1, out=is_start[1:])
+    start_slots = np.flatnonzero(is_start)
+    lengths = np.diff(np.append(start_slots, flat.size))
+    run_frames = frame_idx[start_slots]
+    burst_counts = np.bincount(run_frames, minlength=frames)
+    length_sums = np.bincount(run_frames, weights=lengths, minlength=frames)
+    max_lengths = np.zeros(frames, dtype=np.int64)
+    np.maximum.at(max_lengths, run_frames, lengths)
+    mean_lengths = np.divide(length_sums, burst_counts,
+                             out=np.zeros(frames, dtype=np.float64),
+                             where=burst_counts > 0)
+    return FrameBurstArrays(symbols, error_counts, burst_counts, max_lengths,
+                            mean_lengths)
+
+
+def burst_profiles_from_positions(frame_idx: np.ndarray, sym_idx: np.ndarray,
+                                  frames: int, symbols: int) -> List[BurstProfile]:
+    """Per-frame burst profiles from sorted sparse error positions."""
+    return frame_burst_arrays(frame_idx, sym_idx, frames, symbols).profiles()
+
+
 def codeword_failure_rate(mask: np.ndarray, codeword_symbols: int,
                           correctable: int) -> float:
     """Fraction of code words with more than ``correctable`` errors."""

@@ -15,7 +15,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.channel.burst_stats import errors_per_codeword
+from typing import List
+
+from repro.channel.burst_stats import errors_per_codeword, errors_per_codeword_frames
 
 
 @dataclass(frozen=True)
@@ -72,6 +74,29 @@ class DecodingReport:
         return self.failed == 0
 
 
+def report_from_counts(counts: np.ndarray, config: CodewordConfig) -> DecodingReport:
+    """Aggregate decoding report from per-code-word error counts.
+
+    The single home of the bounded-distance failure criterion
+    (``count > t``) and the corrected/residual split — every decode
+    entry point (scalar, batched, campaign hot path) folds through
+    here, so the criterion cannot silently diverge between paths.
+
+    Args:
+        counts: integer error counts, one entry per code word (any
+            shape; all entries are pooled into one report).
+        config: code parameters.
+    """
+    failed = counts > config.t_correctable
+    residual = int(counts[failed].sum())
+    return DecodingReport(
+        codewords=int(counts.size),
+        failed=int(failed.sum()),
+        corrected_symbols=int(counts.sum()) - residual,
+        residual_symbol_errors=residual,
+    )
+
+
 def decode_mask(mask: np.ndarray, config: CodewordConfig) -> DecodingReport:
     """Decode an error mask: which code words survive?
 
@@ -80,16 +105,26 @@ def decode_mask(mask: np.ndarray, config: CodewordConfig) -> DecodingReport:
             after deinterleaving at the receiver).
         config: code parameters.
     """
-    counts = errors_per_codeword(mask, config.n_symbols)
-    failed = counts > config.t_correctable
-    corrected = int(counts[~failed].sum())
-    residual = int(counts[failed].sum())
-    return DecodingReport(
-        codewords=int(counts.size),
-        failed=int(failed.sum()),
-        corrected_symbols=corrected,
-        residual_symbol_errors=residual,
-    )
+    return report_from_counts(errors_per_codeword(mask, config.n_symbols), config)
+
+
+def decode_masks(masks: np.ndarray, config: CodewordConfig) -> List[DecodingReport]:
+    """Batched :func:`decode_mask` over stacked frame masks.
+
+    Args:
+        masks: boolean array of shape ``(frames, symbols)``, each row a
+            symbol-error mask in code word order.
+        config: code parameters.
+
+    Returns:
+        One :class:`DecodingReport` per frame, bit-identical to calling
+        :func:`decode_mask` on each row — the per-code-word error
+        counting runs once over the whole 2-D batch, and each row folds
+        through the same :func:`report_from_counts` criterion as every
+        other decode path.
+    """
+    counts = errors_per_codeword_frames(masks, config.n_symbols)
+    return [report_from_counts(row, config) for row in counts]
 
 
 def random_burst_tolerance(config: CodewordConfig, interleaver_depth: int) -> int:

@@ -116,28 +116,57 @@ class GilbertElliottChannel:
         self.params = params
         self.rng = rng or np.random.default_rng()
         self._state = BAD if self.rng.random() < params.stationary_bad else GOOD
+        self._batch_buffers = None  # (shape, fades, draws) scratch reuse
 
-    def state_mask(self, count: int) -> np.ndarray:
-        """Boolean array: ``True`` where the channel is in a fade."""
-        if count < 0:
-            raise ValueError(f"count must be >= 0, got {count}")
+    def _fill_state_row(self, row: np.ndarray) -> None:
+        """Fill ``row`` with one frame's fade mask, advancing the chain.
+
+        This is the sampling core shared by the scalar and the batched
+        entry points: the draw order (one geometric per dwell, truncated
+        dwells redrawn next frame) is part of the reproducibility
+        contract, so both paths must run exactly this loop.
+        """
+        count = row.size
         params = self.params
         rng = self.rng
-        mask = np.empty(count, dtype=bool)
         position = 0
         state = self._state
         while position < count:
             p_leave = params.p_b2g if state == BAD else params.p_g2b
             run = rng.geometric(p_leave)
             end = min(position + run, count)
-            mask[position:end] = state == BAD
+            row[position:end] = state == BAD
             if position + run > count:
                 # Dwell continues into the next call.
                 break
             position = end
             state = BAD if state == GOOD else GOOD
         self._state = state
+
+    def state_mask(self, count: int) -> np.ndarray:
+        """Boolean array: ``True`` where the channel is in a fade."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        mask = np.empty(count, dtype=bool)
+        self._fill_state_row(mask)
         return mask
+
+    def state_masks(self, count: int, frames: int) -> np.ndarray:
+        """Fade masks for ``frames`` consecutive frames, shape ``(frames, count)``.
+
+        Row ``f`` is bit-identical to the ``f``-th sequential
+        :meth:`state_mask` call on the same generator state: the chain
+        (and its dwell carry-over) continues across rows exactly as it
+        does across calls.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if frames < 0:
+            raise ValueError(f"frames must be >= 0, got {frames}")
+        masks = np.empty((frames, count), dtype=bool)
+        for f in range(frames):
+            self._fill_state_row(masks[f])
+        return masks
 
     def error_mask(self, count: int) -> np.ndarray:
         """Boolean array: ``True`` where a symbol is corrupted."""
@@ -146,6 +175,83 @@ class GilbertElliottChannel:
         draws = self.rng.random(count)
         probabilities = np.where(fades, params.p_bad, params.p_good)
         return draws < probabilities
+
+    def _sample_batch(self, count: int, frames: int):
+        """Fade masks and uniform draws for a frame batch (shared core).
+
+        RNG consumption is frame-sequential — geometric dwells, then the
+        frame's uniforms, identical to per-frame :meth:`error_mask`
+        calls — which is what makes the batched entry points
+        bit-identical to the scalar ones.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if frames < 0:
+            raise ValueError(f"frames must be >= 0, got {frames}")
+        # Scratch buffers are reused across same-shaped batches (the
+        # chunk loop of a campaign cell): refilling warm pages is much
+        # cheaper than faulting in fresh ones every chunk.  They never
+        # escape — every public entry point returns derived arrays.
+        shape = (frames, count)
+        if self._batch_buffers is None or self._batch_buffers[0] != shape:
+            self._batch_buffers = (
+                shape,
+                np.empty(shape, dtype=bool),
+                np.empty(shape, dtype=np.float64),
+            )
+        _, fades, draws = self._batch_buffers
+        for f in range(frames):
+            self._fill_state_row(fades[f])
+            if count:
+                self.rng.random(out=draws[f])
+        return fades, draws
+
+    def _combine_errors(self, fades: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        """Error mask from fade mask + uniforms, in boolean space.
+
+        Same predicate as error_mask's ``draws < where(fades, p_bad,
+        p_good)``, but combined without the float64 probability array —
+        that would be the largest temporary of the whole batch, an 8x
+        wider memory stream than the bool masks.
+        """
+        params = self.params
+        errors = np.less(draws, params.p_bad)
+        errors &= fades
+        if params.p_good > 0.0:
+            good_hits = np.less(draws, params.p_good)
+            good_hits &= ~fades
+            errors |= good_hits
+        return errors
+
+    def error_masks(self, count: int, frames: int) -> np.ndarray:
+        """Error masks for ``frames`` consecutive frames, shape ``(frames, count)``.
+
+        The batched form of :meth:`error_mask`: row ``f`` is
+        bit-identical to the ``f``-th sequential :meth:`error_mask` call
+        from the same generator state (property-tested in
+        ``tests/channel/test_batched_channel.py``), while the threshold
+        comparison runs once over the whole 2-D batch.
+        """
+        fades, draws = self._sample_batch(count, frames)
+        return self._combine_errors(fades, draws)
+
+    def error_positions(self, count: int, frames: int):
+        """Sparse coordinates of corrupted symbols across a frame batch.
+
+        Returns ``(frame_idx, sym_idx)`` arrays in row-major order,
+        exactly ``np.nonzero(self.error_masks(count, frames))`` from the
+        same generator state — but when ``p_good == 0`` the uniforms are
+        only compared *at fade positions*, so the per-symbol cost of the
+        whole error stage collapses to the uniform generation itself.
+        This is the campaign engine's channel entry point.
+        """
+        fades, draws = self._sample_batch(count, frames)
+        params = self.params
+        if params.p_good == 0.0:
+            frame_idx, sym_idx = np.nonzero(fades)
+            hits = draws[frame_idx, sym_idx] < params.p_bad
+            return frame_idx[hits], sym_idx[hits]
+        return np.nonzero(self._combine_errors(fades, draws))
 
     def corrupt(self, symbols: np.ndarray, bits_per_symbol: int = 3) -> np.ndarray:
         """Apply the channel to a symbol stream.

@@ -6,6 +6,7 @@ Commands:
 * ``ablation``  — per-optimization ablation of the optimized mapping
 * ``fig1``      — render the Fig. 1 mapping panels as text
 * ``downlink``  — run the optical-downlink reliability comparison
+* ``campaign``  — Monte Carlo downlink campaign over a fade/geometry grid
 * ``provision`` — size a DRAM system for a target line rate
 * ``configs``   — list the built-in device configurations
 
@@ -26,7 +27,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.channel.codeword import CodewordConfig
-from repro.channel.gilbert_elliott import GilbertElliottParams
+from repro.channel.gilbert_elliott import GilbertElliottParams, coherence_params
 from repro.dram.controller import ControllerConfig
 from repro.dram.presets import TABLE1_CONFIG_NAMES, all_configs, get_config
 from repro.dram.simulator import simulate_interleaver
@@ -34,6 +35,14 @@ from repro.interleaver.triangular import RectangularIndexSpace, TriangularIndexS
 from repro.interleaver.two_stage import TwoStageConfig
 from repro.mapping.optimized import OptimizedMapping
 from repro.mapping.row_major import RowMajorMapping
+from repro.system.campaign import (
+    campaign_grid,
+    export_csv,
+    export_json,
+    format_campaign,
+    run_campaign,
+    summarize_campaign,
+)
 from repro.system.downlink import OpticalDownlink
 from repro.system.sweep import (
     ablation_factories,
@@ -43,7 +52,7 @@ from repro.system.sweep import (
 )
 from repro.system.throughput import provision, throughput_report
 from repro.units import gbit_per_s
-from repro.viz import render_figure1
+from repro.viz import render_campaign_gains, render_figure1
 
 
 def _add_jobs_argument(parser) -> None:
@@ -178,6 +187,94 @@ def _cmd_downlink(args) -> int:
     return 0
 
 
+def _add_campaign(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "campaign",
+        help="Monte Carlo downlink campaign over a (fade x geometry x seed) grid")
+    parser.add_argument("--fade-symbols", type=float, nargs="+",
+                        default=[40.0, 60.0, 90.0], metavar="L",
+                        help="mean fade lengths in symbols (default 40 60 90)")
+    parser.add_argument("--fade-fraction", type=float, nargs="+",
+                        default=[0.002, 0.004, 0.008], metavar="F",
+                        help="long-run fade fractions (default .002 .004 .008)")
+    parser.add_argument("--p-bad", type=float, default=0.7,
+                        help="symbol error probability inside fades (default 0.7)")
+    parser.add_argument("--p-good", type=float, default=0.0,
+                        help="symbol error probability outside fades (default 0)")
+    parser.add_argument("--triangle-n", type=int, nargs="+",
+                        default=[15, 32, 48], metavar="N",
+                        help="triangular stage dimensions (default 15 32 48; "
+                             "the frame must hold whole code-word groups)")
+    parser.add_argument("--symbols-per-element", type=int, default=4)
+    parser.add_argument("--codeword-symbols", type=int, default=24)
+    parser.add_argument("--t-correctable", type=int, default=2)
+    parser.add_argument("--seeds", type=int, default=6, metavar="K",
+                        help="seeds per configuration (default 6)")
+    parser.add_argument("--seed-base", type=int, default=2024,
+                        help="first seed of each configuration (default 2024)")
+    parser.add_argument("--frames", type=int, default=400,
+                        help="frames per cell (default 400)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write cells + summaries as JSON")
+    parser.add_argument("--csv", metavar="PATH",
+                        help="write one CSV row per cell")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="per-cell on-disk result cache (always written)")
+    parser.add_argument("--resume", action="store_true",
+                        help="reuse cache entries from an earlier run "
+                             "(requires --cache-dir)")
+    parser.add_argument("--no-chart", action="store_true",
+                        help="skip the gain-vs-fade chart")
+    _add_jobs_argument(parser)
+    parser.set_defaults(func=_cmd_campaign)
+
+
+def _cmd_campaign(args) -> int:
+    if args.seeds < 1 or args.frames < 1:
+        print("error: --seeds and --frames must be >= 1", file=sys.stderr)
+        return 2
+    if args.resume and not args.cache_dir:
+        print("error: --resume requires --cache-dir", file=sys.stderr)
+        return 2
+    try:
+        channels = [
+            coherence_params(length, fraction, p_bad=args.p_bad,
+                             p_good=args.p_good)
+            for length in args.fade_symbols
+            for fraction in args.fade_fraction
+        ]
+        interleavers = [
+            TwoStageConfig(triangle_n=n,
+                           symbols_per_element=args.symbols_per_element,
+                           codeword_symbols=args.codeword_symbols)
+            for n in args.triangle_n
+        ]
+        codes = [CodewordConfig(n_symbols=args.codeword_symbols,
+                                t_correctable=args.t_correctable)]
+        seeds = range(args.seed_base, args.seed_base + args.seeds)
+        cells = campaign_grid(channels, interleavers, codes, seeds, args.frames)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    results = run_campaign(cells, jobs=args.jobs, cache_dir=args.cache_dir,
+                           resume=args.resume)
+    summaries = summarize_campaign(results)
+    print(f"campaign: {len(results)} cells, "
+          f"{sum(r.cell.frames for r in results)} frames, "
+          f"{sum(r.codewords for r in results)} code words per arm")
+    print(format_campaign(summaries))
+    if not args.no_chart:
+        print()
+        print(render_campaign_gains(summaries))
+    if args.json:
+        with open(args.json, "w") as stream:
+            export_json(results, summaries, stream)
+    if args.csv:
+        with open(args.csv, "w") as stream:
+            export_csv(results, stream)
+    return 0
+
+
 def _add_provision(subparsers) -> None:
     parser = subparsers.add_parser(
         "provision", help="size a DRAM system for a target line rate")
@@ -243,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_ablation(subparsers)
     _add_fig1(subparsers)
     _add_downlink(subparsers)
+    _add_campaign(subparsers)
     _add_provision(subparsers)
     _add_configs(subparsers)
     return parser

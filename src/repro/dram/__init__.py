@@ -47,7 +47,12 @@ from repro.dram.mixed import (
     steady_state_interleaver,
 )
 from repro.dram.refresh import RefreshEvent, RefreshScheduler
-from repro.dram.simulator import InterleaverSimResult, simulate_interleaver, simulate_phase
+from repro.dram.simulator import (
+    InterleaverSimResult,
+    simulate_interleaver,
+    simulate_phase,
+    simulate_phase_result,
+)
 from repro.dram.stats import PhaseStats, min_phase_utilization
 from repro.dram.timing import TimingParams, from_datasheet
 from repro.dram.trace import TraceChecker, Violation, check_phase_commands, read_trace, write_trace
@@ -92,5 +97,6 @@ __all__ = [
     "run_mixed_phase",
     "steady_state_interleaver",
     "simulate_phase",
+    "simulate_phase_result",
     "write_trace",
 ]

@@ -10,7 +10,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.dram.controller import OP_READ, OP_WRITE, ControllerConfig, MemoryController
+from repro.dram.controller import (
+    OP_READ,
+    OP_WRITE,
+    ControllerConfig,
+    MemoryController,
+    PhaseResult,
+)
 from repro.dram.presets import DramConfig
 from repro.dram.stats import PhaseStats, min_phase_utilization
 from repro.mapping.base import InterleaverMapping
@@ -80,6 +86,27 @@ def simulate_phase(
             (``None`` = the mapping's default, bounded memory at paper
             scale).
     """
+    return simulate_phase_result(config, mapping, op, policy,
+                                 use_arrays=use_arrays,
+                                 chunk_size=chunk_size).stats
+
+
+def simulate_phase_result(
+    config: DramConfig,
+    mapping: InterleaverMapping,
+    op: str,
+    policy: Optional[ControllerConfig] = None,
+    *,
+    use_arrays: Optional[bool] = None,
+    chunk_size: Optional[int] = None,
+) -> PhaseResult:
+    """Like :func:`simulate_phase`, returning the full :class:`PhaseResult`.
+
+    With ``policy.record_commands`` set the result carries every
+    scheduled command, ready for the independent JEDEC replay checker
+    (:mod:`repro.dram.trace`) — the integration tests replay one
+    recorded run per Table I (config, mapping) pair.
+    """
     controller = MemoryController(config, policy)
     if op not in (OP_WRITE, OP_READ):
         raise ValueError(f"op must be {OP_WRITE!r} or {OP_READ!r}, got {op!r}")
@@ -96,7 +123,7 @@ def simulate_phase(
         addresses = (
             mapping.write_addresses() if op == OP_WRITE else mapping.read_addresses()
         )
-    return controller.run_phase(addresses, op).stats
+    return controller.run_phase(addresses, op)
 
 
 def simulate_interleaver(

@@ -55,6 +55,13 @@ class TwoStageConfig:
             )
         if self.codeword_symbols < 1:
             raise ValueError(f"codeword_symbols must be >= 1, got {self.codeword_symbols}")
+        group_symbols = self.symbols_per_element * self.codeword_symbols
+        if self.symbols_per_frame % group_symbols:
+            raise ValueError(
+                "frame must hold a whole number of SRAM groups: "
+                f"{self.symbols_per_frame} symbols per frame vs. "
+                f"group of {group_symbols}"
+            )
 
     @property
     def elements_per_frame(self) -> int:
@@ -82,16 +89,19 @@ class TwoStageInterleaver:
     """
 
     def __init__(self, config: TwoStageConfig):
+        # Geometry validity (whole SRAM groups per frame) is enforced by
+        # TwoStageConfig itself, so every entry point fails fast.
         self.config = config
-        group_symbols = config.symbols_per_element * config.codeword_symbols
-        if config.symbols_per_frame % group_symbols:
-            raise ValueError(
-                "frame must hold a whole number of SRAM groups: "
-                f"{config.symbols_per_frame} symbols per frame vs. group of {group_symbols}"
-            )
         self._sram = BlockInterleaver(config.symbols_per_element, config.codeword_symbols)
         self._dram = TriangularInterleaver(config.triangle_n)
-        self._groups = config.symbols_per_frame // group_symbols
+        self._groups = config.symbols_per_frame // (
+            config.symbols_per_element * config.codeword_symbols)
+        # The whole two-stage pipeline is one fixed frame permutation;
+        # precomputing it collapses batched (de)interleaving to a single
+        # fancy-index gather (the campaign engine's hot path).
+        identity = np.arange(config.symbols_per_frame, dtype=np.int64)
+        self._perm = self.interleave(identity)
+        self._inverse = self.deinterleave(identity)
 
     @property
     def frame_symbols(self) -> int:
@@ -120,6 +130,37 @@ class TwoStageInterleaver:
         unpermuted = self._dram.deinterleave(elements.T).T
         sram_in = unpermuted.reshape(self._groups, -1)
         return self._sram.deinterleave(sram_in).reshape(-1)
+
+    # -- batched frame path (precomputed permutation arrays) --------------
+
+    def permutation(self) -> np.ndarray:
+        """Copy of the transmit permutation: ``interleave(x) == x[perm]``."""
+        return self._perm.copy()
+
+    def inverse_permutation(self) -> np.ndarray:
+        """Copy of the receive permutation: ``deinterleave(y) == y[inv]``."""
+        return self._inverse.copy()
+
+    def interleave_frames(self, frames: np.ndarray) -> np.ndarray:
+        """Interleave stacked frames (last axis = frame symbols) at once.
+
+        A single gather through the precomputed permutation; each row is
+        bit-identical to :meth:`interleave` of that row.
+        """
+        self._check_frames(frames)
+        return frames[..., self._perm]
+
+    def deinterleave_frames(self, frames: np.ndarray) -> np.ndarray:
+        """Exact batched inverse of :meth:`interleave_frames`."""
+        self._check_frames(frames)
+        return frames[..., self._inverse]
+
+    def _check_frames(self, frames: np.ndarray) -> None:
+        if frames.ndim < 1 or frames.shape[-1] != self.frame_symbols:
+            raise ValueError(
+                f"frames must have {self.frame_symbols} symbols on the last axis, "
+                f"got shape {frames.shape}"
+            )
 
     # -- properties the paper relies on -----------------------------------
 

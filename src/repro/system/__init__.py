@@ -1,5 +1,16 @@
-"""System-level evaluation: downlink simulation, throughput, sweeps."""
+"""System-level evaluation: downlink simulation, campaigns, throughput, sweeps."""
 
+from repro.system.campaign import (
+    CampaignCell,
+    CampaignSummary,
+    CellResult,
+    campaign_grid,
+    evaluate_cell,
+    format_campaign,
+    run_campaign,
+    summarize_campaign,
+    wilson_interval,
+)
 from repro.system.downlink import DownlinkResult, OpticalDownlink
 from repro.system.sweep import (
     SizeSweepPoint,
@@ -19,9 +30,18 @@ from repro.system.throughput import (
 )
 
 __all__ = [
+    "CampaignCell",
+    "CampaignSummary",
+    "CellResult",
     "DownlinkResult",
     "OpticalDownlink",
     "ProvisioningChoice",
+    "campaign_grid",
+    "evaluate_cell",
+    "format_campaign",
+    "run_campaign",
+    "summarize_campaign",
+    "wilson_interval",
     "SizeSweepPoint",
     "Table1Row",
     "ThroughputReport",

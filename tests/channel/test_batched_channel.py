@@ -1,0 +1,220 @@
+"""Differential tests: the batched channel/decoder path is bit-identical
+to the per-frame path (the channel-side mirror of
+``tests/integration/test_vectorized_equivalence.py``).
+
+Every test runs two generators from the same seed — one through the
+scalar per-frame API, one through the 2-D batch API — and requires
+exact equality: same RNG consumption order, same masks, same
+``DecodingReport`` fields, same aggregate ``DownlinkResult``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.burst_stats import (
+    burst_profile,
+    errors_per_codeword,
+    errors_per_codeword_frames,
+    frame_burst_profiles,
+)
+from repro.channel.codeword import CodewordConfig, decode_mask, decode_masks
+from repro.channel.gilbert_elliott import GilbertElliottChannel, GilbertElliottParams
+from repro.interleaver.two_stage import TwoStageConfig, TwoStageInterleaver
+from repro.system.downlink import OpticalDownlink
+
+# >= 20 seeded parameter sets spanning sparse/dense fades, short/long
+# dwells, clean and noisy good states.
+PARAM_SETS = [
+    (seed, GilbertElliottParams(p_g2b=p_g2b, p_b2g=p_b2g,
+                                p_bad=p_bad, p_good=p_good))
+    for seed, p_g2b, p_b2g, p_bad, p_good in [
+        (101, 6.7e-5, 1 / 60.0, 0.7, 0.0),
+        (102, 6.7e-5, 1 / 60.0, 0.7, 0.001),
+        (103, 2.7e-5, 1 / 150.0, 0.5, 0.0),
+        (104, 1.0e-3, 1 / 20.0, 0.9, 0.0),
+        (105, 1.0e-3, 1 / 20.0, 0.9, 0.01),
+        (106, 0.01, 0.1, 0.6, 0.0),
+        (107, 0.01, 0.1, 0.6, 0.05),
+        (108, 0.05, 0.5, 0.5, 0.0),
+        (109, 0.2, 0.3, 0.8, 0.0),
+        (110, 0.5, 0.5, 1.0, 0.0),
+        (111, 1.0, 1.0, 0.7, 0.0),
+        (112, 1e-6, 1e-4, 0.7, 0.0),
+        (113, 1e-4, 1e-3, 0.3, 0.0),
+        (114, 3e-4, 1 / 90.0, 0.7, 0.0),
+        (115, 3e-4, 1 / 90.0, 0.7, 0.002),
+        (116, 5e-5, 1 / 40.0, 0.7, 0.0),
+        (117, 5e-5, 1 / 40.0, 0.4, 0.0),
+        (118, 2e-4, 1 / 75.0, 0.95, 0.0),
+        (119, 8e-4, 1 / 30.0, 0.7, 0.1),
+        (120, 1e-3, 1 / 500.0, 0.7, 0.0),
+        (121, 0.1, 0.05, 0.7, 0.0),
+        (122, 6.7e-5, 1 / 60.0, 0.0, 0.0),
+    ]
+]
+PARAM_IDS = [f"seed{seed}" for seed, _ in PARAM_SETS]
+
+
+def _channel_pair(seed, params):
+    return (GilbertElliottChannel(params, np.random.default_rng(seed)),
+            GilbertElliottChannel(params, np.random.default_rng(seed)))
+
+
+class TestChannelMasks:
+    @pytest.mark.parametrize("seed,params", PARAM_SETS, ids=PARAM_IDS)
+    def test_state_masks_match_sequential(self, seed, params):
+        batched, sequential = _channel_pair(seed, params)
+        got = batched.state_masks(257, 9)
+        expected = np.stack([sequential.state_mask(257) for _ in range(9)])
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("seed,params", PARAM_SETS, ids=PARAM_IDS)
+    def test_error_masks_match_sequential(self, seed, params):
+        batched, sequential = _channel_pair(seed, params)
+        got = batched.error_masks(311, 8)
+        expected = np.stack([sequential.error_mask(311) for _ in range(8)])
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("seed,params", PARAM_SETS, ids=PARAM_IDS)
+    def test_error_positions_match_masks(self, seed, params):
+        batched, sequential = _channel_pair(seed, params)
+        frame_idx, sym_idx = batched.error_positions(311, 8)
+        expected = np.nonzero(
+            np.stack([sequential.error_mask(311) for _ in range(8)]))
+        assert np.array_equal(frame_idx, expected[0])
+        assert np.array_equal(sym_idx, expected[1])
+
+    def test_state_continues_across_batches(self):
+        params = GilbertElliottParams(p_g2b=1e-3, p_b2g=1 / 200.0, p_bad=0.7)
+        batched, sequential = _channel_pair(7, params)
+        first = batched.error_masks(100, 3)
+        second = batched.error_masks(100, 3)
+        expected = np.stack([sequential.error_mask(100) for _ in range(6)])
+        assert np.array_equal(np.vstack([first, second]), expected)
+
+    def test_zero_frames_and_zero_count(self):
+        params = GilbertElliottParams(p_g2b=0.01, p_b2g=0.1)
+        channel = GilbertElliottChannel(params, np.random.default_rng(0))
+        assert channel.error_masks(10, 0).shape == (0, 10)
+        assert channel.error_masks(0, 4).shape == (4, 0)
+
+    def test_rejects_negative_arguments(self):
+        params = GilbertElliottParams(p_g2b=0.01, p_b2g=0.1)
+        channel = GilbertElliottChannel(params, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            channel.error_masks(-1, 3)
+        with pytest.raises(ValueError):
+            channel.state_masks(5, -2)
+
+
+class TestBatchedDecoding:
+    @pytest.mark.parametrize("seed,params", PARAM_SETS, ids=PARAM_IDS)
+    def test_decode_masks_match_per_frame(self, seed, params):
+        channel = GilbertElliottChannel(params, np.random.default_rng(seed))
+        masks = channel.error_masks(312, 6)
+        config = CodewordConfig(n_symbols=24, t_correctable=2)
+        batched = decode_masks(masks, config)
+        expected = [decode_mask(row, config) for row in masks]
+        assert batched == expected
+
+    @pytest.mark.parametrize("seed,params", PARAM_SETS, ids=PARAM_IDS)
+    def test_errors_per_codeword_frames_match(self, seed, params):
+        channel = GilbertElliottChannel(params, np.random.default_rng(seed))
+        masks = channel.error_masks(310, 5)  # 310 = 12*25 + 10: partial tail
+        got = errors_per_codeword_frames(masks, 25)
+        expected = np.stack([errors_per_codeword(row, 25) for row in masks])
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("seed,params", PARAM_SETS, ids=PARAM_IDS)
+    def test_frame_burst_profiles_match(self, seed, params):
+        channel = GilbertElliottChannel(params, np.random.default_rng(seed))
+        masks = channel.error_masks(311, 7)
+        got = frame_burst_profiles(masks)
+        expected = [burst_profile(row) for row in masks]
+        assert got == expected
+
+    def test_empty_and_full_masks(self):
+        config = CodewordConfig(n_symbols=8, t_correctable=1)
+        empty = np.zeros((3, 32), dtype=bool)
+        full = np.ones((3, 32), dtype=bool)
+        for masks in (empty, full):
+            assert decode_masks(masks, config) == [
+                decode_mask(row, config) for row in masks]
+            assert frame_burst_profiles(masks) == [
+                burst_profile(row) for row in masks]
+
+
+class TestBatchedTwoStage:
+    CONFIGS = [
+        TwoStageConfig(triangle_n=8, symbols_per_element=4, codeword_symbols=36),
+        TwoStageConfig(triangle_n=15, symbols_per_element=4, codeword_symbols=24),
+        TwoStageConfig(triangle_n=3, symbols_per_element=1, codeword_symbols=6),
+    ]
+
+    @pytest.mark.parametrize("config", CONFIGS,
+                             ids=lambda c: f"n{c.triangle_n}")
+    def test_frames_methods_match_per_frame(self, config):
+        interleaver = TwoStageInterleaver(config)
+        rng = np.random.default_rng(5)
+        frames = rng.integers(0, 255, size=(6, interleaver.frame_symbols),
+                              dtype=np.uint8)
+        batched = interleaver.interleave_frames(frames)
+        expected = np.stack([interleaver.interleave(row) for row in frames])
+        assert np.array_equal(batched, expected)
+        back = interleaver.deinterleave_frames(batched)
+        assert np.array_equal(back, frames)
+
+    def test_permutation_realizes_interleave(self):
+        interleaver = TwoStageInterleaver(self.CONFIGS[0])
+        data = np.random.default_rng(2).integers(
+            0, 1000, size=interleaver.frame_symbols)
+        assert np.array_equal(interleaver.interleave(data),
+                              data[interleaver.permutation()])
+        assert np.array_equal(interleaver.deinterleave(data),
+                              data[interleaver.inverse_permutation()])
+
+    def test_frames_shape_check(self):
+        interleaver = TwoStageInterleaver(self.CONFIGS[0])
+        with pytest.raises(ValueError, match="last axis"):
+            interleaver.interleave_frames(np.zeros((2, 3)))
+
+
+class TestBatchedDownlink:
+    """run_batched == run, the end-to-end differential guarantee."""
+
+    SCENARIOS = [
+        (seed, n, p_good)
+        for seed in (1, 7, 99, 2024)
+        for n in (15, 32, 48)
+        for p_good in (0.0, 0.004)
+    ]
+
+    @staticmethod
+    def _downlink(seed, n, p_good):
+        return OpticalDownlink(
+            TwoStageConfig(triangle_n=n, symbols_per_element=4,
+                           codeword_symbols=24),
+            CodewordConfig(n_symbols=24, t_correctable=2),
+            GilbertElliottParams(p_g2b=0.004 / 0.996 / 60.0, p_b2g=1 / 60.0,
+                                 p_bad=0.7, p_good=p_good),
+            rng=np.random.default_rng(seed),
+        )
+
+    @pytest.mark.parametrize("seed,n,p_good", SCENARIOS)
+    def test_run_batched_equals_run(self, seed, n, p_good):
+        reference = self._downlink(seed, n, p_good).run(40)
+        batched = self._downlink(seed, n, p_good).run_batched(40)
+        assert batched == reference
+
+    def test_chunking_does_not_change_results(self):
+        reference = self._downlink(3, 32, 0.0).run_batched(50, batch_frames=50)
+        for batch_frames in (1, 7, 16, 49, 128):
+            assert self._downlink(3, 32, 0.0).run_batched(
+                50, batch_frames=batch_frames) == reference
+
+    def test_run_batched_rejects_bad_arguments(self):
+        downlink = self._downlink(0, 15, 0.0)
+        with pytest.raises(ValueError):
+            downlink.run_batched(0)
+        with pytest.raises(ValueError):
+            downlink.run_batched(10, batch_frames=0)

@@ -1,0 +1,38 @@
+"""Golden-file pin of the headline Table I output.
+
+``format_table1(run_table1(n=64))`` is pinned byte-for-byte.  The
+simulator is deterministic, so any diff here means a scheduler,
+controller-timing or formatting change moved the paper's headline
+artifact — which must always be a conscious decision (regenerate with
+``python -c "from repro.system.sweep import *; print(format_table1(
+run_table1(n=64)))"`` and update the golden file in the same commit).
+
+n=64 is far below the paper's operating point; the cell values are not
+the paper's numbers, only a drift detector that runs in under a second.
+"""
+
+import os
+
+from repro.system.sweep import format_table1, run_table1
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "golden",
+                           "table1_n64.txt")
+
+
+def test_table1_n64_matches_golden():
+    with open(GOLDEN_PATH) as stream:
+        expected = stream.read()
+    actual = format_table1(run_table1(n=64)) + "\n"
+    assert actual == expected, (
+        "Table I output drifted from tests/golden/table1_n64.txt — "
+        "if the change is intentional, regenerate the golden file."
+    )
+
+
+def test_golden_file_shape():
+    """The pinned artifact itself stays a full ten-config table."""
+    with open(GOLDEN_PATH) as stream:
+        lines = stream.read().splitlines()
+    assert len(lines) == 13  # 2 header + 10 configs + legend
+    assert lines[0].startswith("DRAM")
+    assert lines[-1].startswith("(*")

@@ -14,8 +14,8 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("table1", "ablation", "fig1", "downlink", "provision",
-                        "configs"):
+        for command in ("table1", "ablation", "fig1", "downlink", "campaign",
+                        "provision", "configs"):
             assert command in text
 
 
@@ -95,6 +95,68 @@ class TestDownlink:
 
     def test_rejects_bad_fade(self, capsys):
         assert main(["downlink", "--fade-fraction", "1.5"]) == 2
+        capsys.readouterr()
+
+
+CAMPAIGN_SMALL = [
+    "campaign", "--fade-symbols", "60", "--fade-fraction", "0.004",
+    "--triangle-n", "15", "--seeds", "2", "--frames", "10",
+]
+
+
+class TestCampaign:
+    def test_runs_small_grid(self, capsys):
+        assert main(CAMPAIGN_SMALL) == 0
+        out = capsys.readouterr().out
+        assert "campaign: 2 cells" in out
+        assert "CWER" in out
+        assert "95% CI" in out
+        assert "gain (log scale)" in out  # chart follows the table
+
+    def test_no_chart_flag(self, capsys):
+        assert main(CAMPAIGN_SMALL + ["--no-chart"]) == 0
+        assert "gain (log scale)" not in capsys.readouterr().out
+
+    def test_jobs_flag(self, capsys):
+        assert main(CAMPAIGN_SMALL + ["--jobs", "2"]) == 0
+        capsys.readouterr()
+
+    def test_exports(self, tmp_path, capsys):
+        json_path = tmp_path / "campaign.json"
+        csv_path = tmp_path / "campaign.csv"
+        assert main(CAMPAIGN_SMALL + ["--json", str(json_path),
+                                      "--csv", str(csv_path)]) == 0
+        capsys.readouterr()
+        import json as json_module
+        document = json_module.loads(json_path.read_text())
+        assert len(document["cells"]) == 2
+        assert len(csv_path.read_text().strip().splitlines()) == 3
+
+    def test_cache_and_resume(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(CAMPAIGN_SMALL + ["--cache-dir", cache]) == 0
+        first = capsys.readouterr().out
+        assert main(CAMPAIGN_SMALL + ["--cache-dir", cache, "--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_resume_requires_cache_dir(self, capsys):
+        assert main(CAMPAIGN_SMALL + ["--resume"]) == 2
+        assert "requires --cache-dir" in capsys.readouterr().err
+
+    def test_rejects_bad_fade_fraction(self, capsys):
+        assert main(["campaign", "--fade-fraction", "1.5",
+                     "--seeds", "1", "--frames", "5"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_rejects_invalid_geometry(self, capsys):
+        # 16*17/2 = 136 elements x 4 symbols is not a whole number of
+        # 4x24-symbol code-word groups.
+        assert main(["campaign", "--triangle-n", "16",
+                     "--seeds", "1", "--frames", "5"]) == 2
+        assert "whole number" in capsys.readouterr().err
+
+    def test_rejects_zero_seeds(self, capsys):
+        assert main(["campaign", "--seeds", "0"]) == 2
         capsys.readouterr()
 
 

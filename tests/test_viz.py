@@ -1,12 +1,17 @@
-"""Fig. 1 style rendering."""
+"""Fig. 1 style rendering and campaign charts."""
 
 import pytest
 
+from repro.channel.codeword import CodewordConfig
+from repro.channel.gilbert_elliott import GilbertElliottParams
 from repro.dram.geometry import Geometry
 from repro.interleaver.triangular import RectangularIndexSpace, TriangularIndexSpace
+from repro.interleaver.two_stage import TwoStageConfig
 from repro.mapping.optimized import OptimizedMapping
+from repro.system.campaign import CampaignSummary
 from repro.viz import (
     render_banks,
+    render_campaign_gains,
     render_columns,
     render_figure1,
     render_full,
@@ -71,6 +76,62 @@ class TestFigurePanels:
         base = render_full(OptimizedMapping(space, fig_geometry, enable_offset=False))
         shifted = render_full(OptimizedMapping(space, fig_geometry))
         assert base != shifted
+
+
+def _summary(fade_symbols, gain_failed_base, gain_failed_int, n=32):
+    return CampaignSummary(
+        channel=GilbertElliottParams(p_g2b=0.004 / 0.996 / fade_symbols,
+                                     p_b2g=1.0 / fade_symbols, p_bad=0.7),
+        interleaver=TwoStageConfig(triangle_n=n, symbols_per_element=4,
+                                   codeword_symbols=24),
+        code=CodewordConfig(n_symbols=24, t_correctable=2),
+        cells=3,
+        frames=300,
+        codewords=26400,
+        failed_interleaved=gain_failed_int,
+        failed_baseline=gain_failed_base,
+        gains=(2.0, 3.0, 4.0),
+        max_errors_interleaved=5,
+        max_burst=120,
+    )
+
+
+class TestCampaignGains:
+    def test_rows_sorted_by_fade_duration(self):
+        text = render_campaign_gains([_summary(90.0, 40, 10),
+                                      _summary(40.0, 40, 10)])
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 2 rows
+        assert lines[1].split()[0] == "40"
+        assert lines[2].split()[0] == "90"
+
+    def test_gain_bar_scales_with_gain(self):
+        text = render_campaign_gains([_summary(40.0, 100, 10),
+                                      _summary(60.0, 100, 50)], width=20)
+        lines = text.splitlines()
+        assert lines[1].count("#") > lines[2].count("#")  # 10x vs 2x gain
+        assert "10.0x" in lines[1]
+
+    def test_sub_unity_gains_do_not_stretch_the_axis(self):
+        # A saturation row (gain < 1, empty bar) must not compress the
+        # positive rows: the 10x row still spans the full width.
+        text = render_campaign_gains([_summary(40.0, 100, 10),
+                                      _summary(60.0, 50, 100)], width=10)
+        lines = text.splitlines()
+        assert "#" * 10 in lines[1]   # 10x row: full bar
+        assert "#" not in lines[2]    # 0.5x row: empty bar
+
+    def test_infinite_gain_fills_bar(self):
+        text = render_campaign_gains([_summary(40.0, 25, 0)], width=12)
+        assert "#" * 12 in text
+        assert "inf" in text
+
+    def test_empty_summaries(self):
+        assert "no campaign" in render_campaign_gains([])
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            render_campaign_gains([_summary(40.0, 1, 1)], width=0)
 
 
 class TestHelpers:
