@@ -3,16 +3,19 @@
 Commands:
 
 * ``table1``    — regenerate the paper's Table I (any subset of configs)
+* ``mixed``     — steady-state interleaved read/write utilization
 * ``ablation``  — per-optimization ablation of the optimized mapping
 * ``fig1``      — render the Fig. 1 mapping panels as text
 * ``downlink``  — run the optical-downlink reliability comparison
 * ``campaign``  — Monte Carlo downlink campaign over a fade/geometry grid
 * ``provision`` — size a DRAM system for a target line rate
+* ``trace``     — record a phase's command trace and replay-check it
 * ``configs``   — list the built-in device configurations
 
-Simulation grids (``table1``, ``ablation``) accept ``--jobs N`` to fan
-the (config x mapping x phase) work items out over N worker processes
-(``--jobs 0`` = all cores); results are identical to a serial run.
+Simulation grids (``table1``, ``mixed``, ``ablation``) accept
+``--jobs N`` to fan the (config x mapping x phase) work items out over
+N worker processes (``--jobs 0`` = all cores); results are identical
+to a serial run.
 
 Every command prints plain text and exits non-zero on bad arguments, so
 the CLI is scriptable from shell pipelines.
@@ -46,7 +49,9 @@ from repro.system.campaign import (
 from repro.system.downlink import OpticalDownlink
 from repro.system.sweep import (
     ablation_factories,
+    format_mixed_table,
     format_table1,
+    run_mixed_table,
     run_table1,
     sweep_ablation,
 )
@@ -82,6 +87,39 @@ def _cmd_table1(args) -> int:
     policy = ControllerConfig(refresh_enabled=not args.no_refresh)
     rows = run_table1(n=args.n, config_names=names, policy=policy, jobs=args.jobs)
     print(format_table1(rows))
+    return 0
+
+
+def _add_mixed(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "mixed",
+        help="steady-state interleaved read/write utilization (single device)")
+    parser.add_argument("--n", type=int, default=256,
+                        help="triangle dimension (default 256)")
+    parser.add_argument("--group", type=int, default=16,
+                        help="same-direction requests issued back to back "
+                             "before switching (default 16)")
+    parser.add_argument("--no-refresh", action="store_true",
+                        help="disable refresh (the paper's >99%% experiment)")
+    parser.add_argument("--configs", nargs="*", metavar="NAME",
+                        help="subset of configurations (default: all ten)")
+    _add_jobs_argument(parser)
+    parser.set_defaults(func=_cmd_mixed)
+
+
+def _cmd_mixed(args) -> int:
+    names = tuple(args.configs) if args.configs else TABLE1_CONFIG_NAMES
+    unknown = set(names) - set(TABLE1_CONFIG_NAMES)
+    if unknown:
+        print(f"error: unknown configurations {sorted(unknown)}", file=sys.stderr)
+        return 2
+    if args.group < 1:
+        print("error: --group must be >= 1", file=sys.stderr)
+        return 2
+    policy = ControllerConfig(refresh_enabled=not args.no_refresh)
+    rows = run_mixed_table(n=args.n, config_names=names, group=args.group,
+                           policy=policy, jobs=args.jobs)
+    print(format_mixed_table(rows))
     return 0
 
 
@@ -312,6 +350,91 @@ def _cmd_provision(args) -> int:
     return 0
 
 
+def _add_trace(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "trace",
+        help="record a phase's DRAM command trace, dump it, replay-check it")
+    parser.add_argument("--config", default="DDR4-3200", metavar="NAME",
+                        help="DRAM configuration (default DDR4-3200)")
+    parser.add_argument("--mapping", choices=("row-major", "optimized"),
+                        default="optimized")
+    parser.add_argument("--phase", choices=("write", "read"), default="read",
+                        help="which access phase to schedule (default read)")
+    parser.add_argument("--n", type=int, default=64,
+                        help="triangle dimension (default 64)")
+    parser.add_argument("--no-refresh", action="store_true",
+                        help="disable refresh during the phase")
+    parser.add_argument("--out", metavar="PATH",
+                        help="write the command trace to this file")
+    parser.add_argument("--replay", metavar="PATH",
+                        help="instead of scheduling a phase, read a trace "
+                             "file, re-schedule its request stream through "
+                             "the engine and check both schedules")
+    parser.set_defaults(func=_cmd_trace)
+
+
+def _cmd_trace(args) -> int:
+    from repro.dram.engine import SchedulingEngine, TraceReplaySource
+    from repro.dram.simulator import simulate_phase_result
+    from repro.dram.trace import check_phase_commands, read_trace, write_trace
+    from repro.dram.controller import OP_READ, OP_WRITE
+
+    try:
+        config = get_config(args.config)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    policy = ControllerConfig(refresh_enabled=not args.no_refresh,
+                              record_commands=True)
+
+    if args.replay:
+        try:
+            with open(args.replay) as stream:
+                commands = read_trace(stream)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        original_violations = check_phase_commands(config, commands)
+        engine = SchedulingEngine(config, policy)
+        result = engine.run(TraceReplaySource(commands))
+        replay_violations = check_phase_commands(config, result.commands)
+        print(f"trace: {len(commands)} commands, "
+              f"{result.stats.requests} data bursts "
+              f"({result.reads} reads, {result.writes} writes)")
+        print(f"original violations: {len(original_violations)}")
+        print(f"re-scheduled: {len(result.commands)} commands, "
+              f"utilization {result.stats.utilization:.2%}, "
+              f"violations: {len(replay_violations)}")
+        for violation in (original_violations + replay_violations)[:10]:
+            print(f"  {violation}")
+        if args.out:
+            with open(args.out, "w") as stream:
+                write_trace(result.commands, stream)
+            print(f"re-scheduled trace written to {args.out}")
+        return 1 if original_violations or replay_violations else 0
+
+    op = OP_WRITE if args.phase == "write" else OP_READ
+    space = TriangularIndexSpace(args.n)
+    if args.mapping == "row-major":
+        mapping = RowMajorMapping(space, config.geometry)
+    else:
+        mapping = OptimizedMapping(space, config.geometry, prefer_tall=False)
+    result = simulate_phase_result(config, mapping, op, policy)
+    violations = check_phase_commands(config, result.commands)
+    print(f"{config.name} {mapping.name} {args.phase}: "
+          f"{result.stats.requests} requests, "
+          f"{len(result.commands)} commands, "
+          f"utilization {result.stats.utilization:.2%}")
+    print(f"replay-check violations: {len(violations)}")
+    for violation in violations[:10]:
+        print(f"  {violation}")
+    if args.out:
+        with open(args.out, "w") as stream:
+            count = write_trace(result.commands, stream)
+        print(f"trace written to {args.out} ({count} commands)")
+    return 1 if violations else 0
+
+
 def _add_configs(subparsers) -> None:
     parser = subparsers.add_parser("configs", help="list device configurations")
     parser.set_defaults(func=_cmd_configs)
@@ -337,11 +460,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_table1(subparsers)
+    _add_mixed(subparsers)
     _add_ablation(subparsers)
     _add_fig1(subparsers)
     _add_downlink(subparsers)
     _add_campaign(subparsers)
     _add_provision(subparsers)
+    _add_trace(subparsers)
     _add_configs(subparsers)
     return parser
 

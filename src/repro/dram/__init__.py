@@ -30,6 +30,17 @@ from repro.dram.controller import (
     MemoryController,
     PhaseResult,
 )
+from repro.dram.engine import (
+    ChunkSource,
+    EngineResult,
+    MixedSource,
+    SchedulingEngine,
+    TraceReplaySource,
+    TupleSource,
+    WorkloadSource,
+    as_workload,
+    trace_requests,
+)
 from repro.dram.geometry import Geometry
 from repro.dram.presets import (
     REFRESH_ALL_BANK,
@@ -50,6 +61,7 @@ from repro.dram.refresh import RefreshEvent, RefreshScheduler
 from repro.dram.simulator import (
     InterleaverSimResult,
     simulate_interleaver,
+    simulate_mixed_interleaver,
     simulate_phase,
     simulate_phase_result,
 )
@@ -58,10 +70,12 @@ from repro.dram.timing import TimingParams, from_datasheet
 from repro.dram.trace import TraceChecker, Violation, check_phase_commands, read_trace, write_trace
 
 __all__ = [
+    "ChunkSource",
     "CommandType",
     "ControllerConfig",
     "DramAddress",
     "DramConfig",
+    "EngineResult",
     "EnergyParams",
     "EnergyReport",
     "Geometry",
@@ -69,9 +83,14 @@ __all__ = [
     "LinearDecoder",
     "MemoryController",
     "MixedResult",
+    "MixedSource",
     "OP_READ",
     "OP_WRITE",
     "PhaseResult",
+    "SchedulingEngine",
+    "TraceReplaySource",
+    "TupleSource",
+    "WorkloadSource",
     "PhaseStats",
     "REFRESH_ALL_BANK",
     "REFRESH_PER_BANK",
@@ -84,6 +103,7 @@ __all__ = [
     "TraceChecker",
     "Violation",
     "all_configs",
+    "as_workload",
     "check_phase_commands",
     "energy_params_for",
     "interleaved_stream",
@@ -93,10 +113,12 @@ __all__ = [
     "min_phase_utilization",
     "phase_energy",
     "simulate_interleaver",
+    "simulate_mixed_interleaver",
     "read_trace",
     "run_mixed_phase",
     "steady_state_interleaver",
     "simulate_phase",
     "simulate_phase_result",
+    "trace_requests",
     "write_trace",
 ]

@@ -26,22 +26,28 @@ Architecture — the same one production controllers and DRAMSys use:
   bank groups rotating instead of clustering same-group CAS at
   ``tCCD_L``); ties go to the oldest request.
 
-The simulator is *event-driven*: instead of ticking every clock it
-computes the earliest legal issue slot of each command directly and
-quantizes it up to the command-clock grid (``timing.tck``), which
-matches a cycle-ticking simulator for this command mix but runs orders
-of magnitude faster in Python.  Quantization applies whenever the
-command clock is exactly representable on the integer-picosecond
-timeline (equivalently: a burst occupies a whole number of clocks,
-true for DDR3/DDR4/DDR5-3200).  For speed grades whose clock period is
-not an integer picosecond count (DDR5-6400, the LPDDR grades) the
-rounded grid would *itself* be a time-base artifact — seamless bursts
-would pick up a phantom gap of up to one clock — so issue slots stay
-continuous there; see ``tests/dram/test_controller.py`` for the
-regression tests pinning both behaviors.  Command-bus slot contention
-(one command per clock edge) is the one constraint not modeled; with
-one CAS per burst (4+ clocks apart) plus at most one ACT and one PRE
-per CAS, the command bus never saturates for these workloads.
+Since the unified-engine refactor the scheduler itself lives in
+:mod:`repro.dram.engine` — :class:`MemoryController` is a thin adapter
+that normalizes the request stream into a
+:class:`~repro.dram.engine.WorkloadSource` and runs the shared
+:class:`~repro.dram.engine.SchedulingEngine` (the same core that powers
+:func:`repro.dram.mixed.run_mixed_phase` and trace replay).  The
+engine is *event-driven*: instead of ticking every clock it computes
+the earliest legal issue slot of each command directly and quantizes it
+up to the command-clock grid (``timing.tck``), which matches a
+cycle-ticking simulator for this command mix but runs orders of
+magnitude faster in Python.  Quantization applies whenever the command
+clock is exactly representable on the integer-picosecond timeline
+(equivalently: a burst occupies a whole number of clocks, true for
+DDR3/DDR4/DDR5-3200).  For speed grades whose clock period is not an
+integer picosecond count (DDR5-6400, the LPDDR grades) the rounded grid
+would *itself* be a time-base artifact — seamless bursts would pick up
+a phantom gap of up to one clock — so issue slots stay continuous
+there; see ``tests/dram/test_controller_intake.py`` for the regression
+tests pinning both behaviors.  Command-bus slot contention (one command
+per clock edge) is the one constraint not modeled; with one CAS per
+burst (4+ clocks apart) plus at most one ACT and one PRE per CAS, the
+command bus never saturates for these workloads.
 
 Request intake accepts two stream shapes (see :meth:`run_phase`):
 
@@ -49,31 +55,27 @@ Request intake accepts two stream shapes (see :meth:`run_phase`):
 * an iterable of columnar *chunks* ``(banks, rows, columns)`` where
   each element is an array/sequence of equal length — the vectorized
   path produced by ``InterleaverMapping.write_addresses_array`` /
-  ``read_addresses_array``.  Chunks are bulk-converted once and the
-  per-bank FIFOs refill from the columnar buffers by index, so the hot
-  loop never materializes a Python tuple per request on intake.
+  ``read_addresses_array``.  Chunks are bulk-partitioned into the
+  engine's array-backed per-bank queues, so the hot loop never
+  materializes a Python tuple per request on intake.
 
 Both paths feed the identical scheduler and yield identical
 :class:`~repro.dram.stats.PhaseStats`, which is property-tested in
-``tests/dram`` and ``tests/integration``.
+``tests/dram`` and ``tests/integration``; bit-identical equivalence to
+the pre-engine scheduler is proven by the differential battery in
+``tests/dram/test_engine_differential.py``.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from itertools import chain
-from typing import Deque, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.dram.bank import BankSnapshot
-from repro.dram.commands import CommandType, ScheduledCommand
-from repro.dram.presets import REFRESH_ALL_BANK, DramConfig
-from repro.dram.refresh import RefreshScheduler
+from repro.dram.commands import ScheduledCommand
+from repro.dram.engine import OP_READ, OP_WRITE, SchedulingEngine, as_workload
+from repro.dram.presets import DramConfig
 from repro.dram.stats import PhaseStats
-
-#: Operation kinds accepted by :meth:`MemoryController.run_phase`.
-OP_READ = "RD"
-OP_WRITE = "WR"
 
 #: One columnar request chunk: (banks, rows, columns) of equal length.
 RequestChunk = Tuple[Sequence[int], Sequence[int], Sequence[int]]
@@ -81,8 +83,15 @@ RequestChunk = Tuple[Sequence[int], Sequence[int], Sequence[int]]
 #: The request-stream shapes accepted by :meth:`MemoryController.run_phase`.
 RequestStream = Union[Iterable[Tuple[int, int, int]], Iterable[RequestChunk]]
 
-_FAR_PAST = -(10**15)
-_FAR_FUTURE = 10**18
+__all__ = [
+    "OP_READ",
+    "OP_WRITE",
+    "ControllerConfig",
+    "MemoryController",
+    "PhaseResult",
+    "RequestChunk",
+    "RequestStream",
+]
 
 
 @dataclass(frozen=True)
@@ -123,14 +132,6 @@ class PhaseResult:
     commands: List[ScheduledCommand] = field(default_factory=list)
 
 
-def _as_list(values) -> List[int]:
-    """Bulk-convert one chunk column to a plain Python list."""
-    tolist = getattr(values, "tolist", None)
-    if tolist is not None:
-        return tolist()
-    return list(values)
-
-
 class MemoryController:
     """Schedules one access phase against one DRAM configuration.
 
@@ -138,32 +139,22 @@ class MemoryController:
     timer at zero; create one controller per phase (the interleaver's
     phases are milliseconds long, so cross-phase boundary effects are
     negligible, and the paper reports the phases separately).
+
+    This class is an adapter over the shared
+    :class:`~repro.dram.engine.SchedulingEngine`; the engine's bank
+    state lives for the controller's lifetime, so consecutive
+    :meth:`run_phase` calls see warm rows exactly as before the
+    refactor.
     """
 
     def __init__(self, config: DramConfig, policy: Optional[ControllerConfig] = None):
         self.config = config
         self.policy = policy or ControllerConfig()
-        geometry = config.geometry
-        self._banks = geometry.banks
-        self._bank_groups = geometry.bank_groups
-        # Per-bank state, parallel lists for speed.
-        self._open_row: List[Optional[int]] = [None] * self._banks
-        self._act_time = [_FAR_PAST] * self._banks
-        self._cas_allowed = [0] * self._banks
-        self._pre_allowed = [0] * self._banks
-        self._act_allowed = [0] * self._banks
-        self._refresh = RefreshScheduler(config, enabled=self.policy.refresh_enabled)
+        self._engine = SchedulingEngine(config, self.policy)
 
     def bank_snapshot(self, bank: int) -> BankSnapshot:
         """Readable state of one bank (testing/debugging)."""
-        return BankSnapshot(
-            bank=bank,
-            open_row=self._open_row[bank],
-            act_time_ps=self._act_time[bank],
-            cas_allowed_ps=self._cas_allowed[bank],
-            pre_allowed_ps=self._pre_allowed[bank],
-            act_allowed_ps=self._act_allowed[bank],
-        )
+        return self._engine.bank_snapshot(bank)
 
     def run_phase(
         self,
@@ -190,518 +181,5 @@ class MemoryController:
                 a bank index outside ``[0, geometry.banks)`` (validated
                 at intake, naming the offending request).
         """
-        if op not in (OP_READ, OP_WRITE):
-            raise ValueError(f"op must be {OP_READ!r} or {OP_WRITE!r}, got {op!r}")
-
-        timing = self.config.timing
-        burst = self.config.burst_duration_ps
-        # Command-clock grid for issue-slot quantization.  When a burst
-        # is not a whole number of clocks the clock period itself was
-        # rounded to fit the integer-ps timeline; quantizing to that
-        # rounded grid would insert phantom gaps between seamless
-        # bursts, so those grades run with a degenerate 1 ps grid
-        # (quantization disabled) — see the module docstring.
-        tck = timing.tck if burst % timing.tck == 0 else 1
-        trp = timing.trp
-        trcd = timing.trcd
-        tras = timing.tras
-        trrd_s = timing.trrd_s
-        trrd_l = timing.trrd_l
-        tfaw = timing.tfaw
-        tccd_s = timing.tccd_s
-        tccd_l = timing.tccd_l
-        twr = timing.twr
-        trtp = timing.trtp
-        is_read = op == OP_READ
-        latency = timing.cl if is_read else timing.cwl
-        bank_groups = self._bank_groups
-        n_banks = self._banks
-
-        open_row = self._open_row
-        act_time = self._act_time
-        cas_allowed = self._cas_allowed
-        pre_allowed = self._pre_allowed
-        act_allowed = self._act_allowed
-
-        policy = self.policy
-        queue_depth = policy.queue_depth
-        per_bank_depth = policy.per_bank_depth
-        record = policy.record_commands
-        commands: List[ScheduledCommand] = []
-        stats = PhaseStats()
-        refresh = self._refresh
-        all_bank_refresh = self.config.refresh_mode == REFRESH_ALL_BANK
-
-        # Global channel state.
-        bg_of = [b % bank_groups for b in range(n_banks)]
-        last_cas = _FAR_PAST            # any bank group (tCCD_S)
-        last_cas_bg = [_FAR_PAST] * bank_groups
-        last_act = _FAR_PAST
-        last_act_bg = -1
-        faw_ring = [_FAR_PAST] * 4      # issue times of the last four ACTs
-        faw_idx = 0
-        bus_free = 0
-        last_data_end = 0
-
-        # Per-bank FIFOs.  Every bank with a non-empty FIFO is in
-        # exactly one of two sets: `ready` (the open row matches the
-        # FIFO head — a CAS candidate) or `pending` (the head still
-        # needs its row cycle).  The sets replace a per-iteration scan
-        # over all banks: the eager row-management loop only runs while
-        # `pending` is non-empty, and the CAS arbiter only examines
-        # `ready`.
-        fifos: List[Deque[Tuple[int, int, int]]] = [deque() for _ in range(n_banks)]
-        pending: set = set()
-        ready: set = set()
-        queued = 0
-        seq = 0
-        # Arrival order of outstanding requests (parallel int deques —
-        # no per-request tuple).  The front, after skipping entries
-        # already served, is the oldest FIFO head: the CAS arbiter's
-        # tie-break winner whenever it achieves the global bound.
-        order_seq: Deque[int] = deque()
-        order_bank: Deque[int] = deque()
-
-        stalled: Optional[Tuple[int, int, int]] = None  # head-of-line at a full bank FIFO
-        exhausted = False
-        intake = 0                      # requests pulled from the source so far
-
-        # ---- source normalization: tuples or columnar chunks ----------
-        raw = iter(requests)
-        first = next(raw, None)
-        if first is None:
-            exhausted = True
-            chunked = False
-            source = raw
-        else:
-            chunked = hasattr(first[0], "__len__")
-            source = chain((first,), raw)
-
-        # Columnar buffers of the current chunk (chunked mode only).
-        buf_banks: List[int] = []
-        buf_rows: List[int] = []
-        buf_cols: List[int] = []
-        buf_pos = 0
-        buf_len = 0
-
-        def load_chunk() -> bool:
-            """Pull, convert and validate the next non-empty chunk."""
-            nonlocal buf_banks, buf_rows, buf_cols, buf_pos, buf_len
-            nonlocal exhausted, intake
-            while True:
-                item = next(source, None)
-                if item is None:
-                    exhausted = True
-                    return False
-                banks_col, rows_col, cols_col = item
-                banks = _as_list(banks_col)
-                if not banks:
-                    continue
-                rows = _as_list(rows_col)
-                cols = _as_list(cols_col)
-                if len(rows) != len(banks) or len(cols) != len(banks):
-                    raise ValueError(
-                        f"request chunk columns disagree in length: "
-                        f"{len(banks)} banks, {len(rows)} rows, {len(cols)} columns"
-                    )
-                if min(banks) < 0 or max(banks) >= n_banks:
-                    for k, bank in enumerate(banks):
-                        if not 0 <= bank < n_banks:
-                            raise ValueError(
-                                f"request #{intake + k} (bank={bank}, row={rows[k]}, "
-                                f"column={cols[k]}): bank out of range [0, {n_banks})"
-                            )
-                buf_banks, buf_rows, buf_cols = banks, rows, cols
-                buf_pos = 0
-                buf_len = len(banks)
-                intake += buf_len
-                return True
-
-        def refill_tuples() -> None:
-            """Pull (bank, row, column) tuples until the queues are full.
-
-            The source is consumed strictly in order; when the target
-            bank's FIFO is at `per_bank_depth`, intake stalls (matching
-            a real front end, and bounding inter-bank skew).
-            """
-            nonlocal queued, seq, stalled, exhausted, intake, fresh_pending
-            while queued < queue_depth:
-                if stalled is not None:
-                    bank = stalled[0]
-                    fifo = fifos[bank]
-                    if len(fifo) >= per_bank_depth:
-                        return
-                    if not fifo:
-                        pending.add(bank)
-                        fresh_pending = True
-                    fifo.append((stalled[1], stalled[2], seq))
-                    order_seq.append(seq)
-                    order_bank.append(bank)
-                    seq += 1
-                    queued += 1
-                    stalled = None
-                    continue
-                if exhausted:
-                    return
-                item = next(source, None)
-                if item is None:
-                    exhausted = True
-                    return
-                bank, row, col = item
-                if bank < 0 or bank >= n_banks:
-                    raise ValueError(
-                        f"request #{intake} (bank={bank}, row={row}, column={col}): "
-                        f"bank out of range [0, {n_banks})"
-                    )
-                intake += 1
-                fifo = fifos[bank]
-                if len(fifo) >= per_bank_depth:
-                    stalled = (bank, row, col)
-                    return
-                if not fifo:
-                    pending.add(bank)
-                    fresh_pending = True
-                fifo.append((row, col, seq))
-                order_seq.append(seq)
-                order_bank.append(bank)
-                seq += 1
-                queued += 1
-
-        def refill_chunks() -> None:
-            """Like :func:`refill_tuples`, but indexing columnar buffers."""
-            nonlocal queued, seq, stalled, buf_pos, fresh_pending
-            while queued < queue_depth:
-                if stalled is not None:
-                    bank = stalled[0]
-                    fifo = fifos[bank]
-                    if len(fifo) >= per_bank_depth:
-                        return
-                    if not fifo:
-                        pending.add(bank)
-                        fresh_pending = True
-                    fifo.append((stalled[1], stalled[2], seq))
-                    order_seq.append(seq)
-                    order_bank.append(bank)
-                    seq += 1
-                    queued += 1
-                    stalled = None
-                    continue
-                if buf_pos >= buf_len:
-                    if exhausted or not load_chunk():
-                        return
-                bank = buf_banks[buf_pos]
-                row = buf_rows[buf_pos]
-                col = buf_cols[buf_pos]
-                buf_pos += 1
-                fifo = fifos[bank]
-                if len(fifo) >= per_bank_depth:
-                    stalled = (bank, row, col)
-                    return
-                if not fifo:
-                    pending.add(bank)
-                    fresh_pending = True
-                fifo.append((row, col, seq))
-                order_seq.append(seq)
-                order_bank.append(bank)
-                seq += 1
-                queued += 1
-
-        refill = refill_chunks if chunked else refill_tuples
-
-        n_requests = 0
-        hits = misses = empties = acts = pres = refs = 0
-        quant = tck > 1
-
-        # Eager-block skip state.  A pending bank's activation-ready
-        # time is fixed while it stays pending (its pre/act windows only
-        # move on its own ACT, its own pop, or refresh), and the bus
-        # frontier only advances — so once every pending bank is known
-        # to be deferred beyond `deferred_floor`, the row-management
-        # block is a provable no-op until the frontier reaches that
-        # floor or the pending set changes (`fresh_pending`).
-        fresh_pending = False
-        deferred_floor = _FAR_FUTURE
-
-        refill()
-
-        # Cached refresh deadline: `next_deadline_ps` only moves when an
-        # event is consumed, so the cache is re-read after the refresh
-        # block instead of on every iteration.
-        deadline = refresh.next_deadline_ps
-
-        while queued:
-            # ---- refresh ---------------------------------------------------
-            while deadline is not None and last_cas >= deadline:
-                event = refresh.due(last_cas)
-                if event is None:
-                    break
-                ref_time = event.deadline_ps
-                for b in event.banks:
-                    if open_row[b] is not None:
-                        t_pre = pre_allowed[b]
-                        if quant:
-                            remainder = t_pre % tck
-                            if remainder:
-                                t_pre += tck - remainder
-                        if record:
-                            commands.append(ScheduledCommand(t_pre, CommandType.PRE, bank=b))
-                        pres += 1
-                        open_row[b] = None
-                        bank_free_at = t_pre + trp
-                    else:
-                        bank_free_at = act_allowed[b]
-                    if bank_free_at > ref_time:
-                        ref_time = bank_free_at
-                if quant:
-                    remainder = ref_time % tck
-                    if remainder:
-                        ref_time += tck - remainder
-                for b in event.banks:
-                    open_row[b] = None
-                    ready.discard(b)
-                    if fifos[b]:
-                        pending.add(b)
-                    act_allowed[b] = ref_time + event.duration_ps
-                fresh_pending = True  # cached deferral times are stale now
-                refs += 1
-                if record:
-                    kind = CommandType.REF_ALL if all_bank_refresh else CommandType.REF_BANK
-                    commands.append(
-                        ScheduledCommand(
-                            ref_time,
-                            kind,
-                            bank=-1 if all_bank_refresh else event.banks[0],
-                        )
-                    )
-                deadline = refresh.next_deadline_ps
-
-            # ---- eager per-bank row management ----------------------------
-            # Every bank whose FIFO head needs a different row gets its
-            # PRE/ACT scheduled now, at the earliest legal time; these
-            # overlap with CAS traffic on other banks.  ACTs whose
-            # bank-local earliest time lies beyond the data-bus frontier
-            # (e.g. a bank parked in refresh) are *deferred*: the tRRD /
-            # tFAW bookkeeping is sequential, so committing a far-future
-            # ACT would push every later ACT behind it.
-            if pending and (fresh_pending or deferred_floor <= bus_free or not ready):
-                fresh_pending = False
-                horizon = bus_free
-                forced_bank = -1
-                while True:
-                    deferred_ready = _FAR_FUTURE
-                    deferred_bank = -1
-                    for b in sorted(pending) if len(pending) > 1 else tuple(pending):
-                        row = fifos[b][0][0]
-                        current = open_row[b]
-                        if current == row:
-                            pending.discard(b)
-                            ready.add(b)
-                            hits += 1
-                            continue
-                        if current is None:
-                            t_pre = -1
-                            act_ready = act_allowed[b]
-                        else:
-                            t_pre = pre_allowed[b]
-                            if quant:
-                                remainder = t_pre % tck
-                                if remainder:
-                                    t_pre += tck - remainder
-                            act_ready = t_pre + trp
-                        if act_ready > horizon and b != forced_bank:
-                            if act_ready < deferred_ready:
-                                deferred_ready = act_ready
-                                deferred_bank = b
-                            continue
-                        if current is None:
-                            empties += 1
-                        else:
-                            misses += 1
-                            pres += 1
-                            if record:
-                                commands.append(ScheduledCommand(t_pre, CommandType.PRE, bank=b))
-                        bg = bg_of[b]
-                        t_act = act_ready
-                        if last_act != _FAR_PAST:
-                            spacing = trrd_l if bg == last_act_bg else trrd_s
-                            t = last_act + spacing
-                            if t > t_act:
-                                t_act = t
-                        t = faw_ring[faw_idx] + tfaw
-                        if t > t_act:
-                            t_act = t
-                        if quant:
-                            remainder = t_act % tck
-                            if remainder:
-                                t_act += tck - remainder
-                        faw_ring[faw_idx] = t_act
-                        faw_idx = (faw_idx + 1) & 3
-                        last_act = t_act
-                        last_act_bg = bg
-                        acts += 1
-                        if record:
-                            commands.append(ScheduledCommand(t_act, CommandType.ACT, bank=b, row=row))
-                        open_row[b] = row
-                        act_time[b] = t_act
-                        cas_allowed[b] = t_act + trcd
-                        pre_allowed[b] = t_act + tras
-                        pending.discard(b)
-                        ready.add(b)
-                    if ready or deferred_bank < 0:
-                        deferred_floor = deferred_ready
-                        break
-                    # Nothing is serviceable: the earliest deferred bank
-                    # must be activated even though it lies beyond the
-                    # frontier.
-                    forced_bank = deferred_bank
-
-            # ---- CAS arbitration -------------------------------------------
-            # `bound` is the earliest (quantized) CAS slot anything could
-            # get (bus / tCCD_S limited).  A head *achieves* the bound iff
-            # its per-bank readiness — CAS-allowed and same-group tCCD_L —
-            # is within it, and every achiever's issue slot is then exactly
-            # `bound`, so the arbiter compares raw readiness instead of
-            # quantizing each candidate.  Among achievers the oldest
-            # request wins — this preserves stream order and prevents
-            # low-index banks from hogging the bus and starving intake.
-            # If nothing achieves the bound, the earliest-ready head wins
-            # (ties by age on the raw readiness time).
-            bound = last_cas + tccd_s
-            t = bus_free - latency
-            if t > bound:
-                bound = t
-            if quant:
-                remainder = bound % tck
-                if remainder:
-                    bound += tck - remainder
-            chosen = -1
-
-            # Oldest-head fast path: drop already-served entries off the
-            # arrival queue; the front is then the oldest FIFO head.  If
-            # its row is open and its CAS achieves the bound it wins the
-            # arbitration outright (lowest sequence number among bound
-            # achievers), skipping the candidate scan.
-            while order_seq:
-                b = order_bank[0]
-                fifo = fifos[b]
-                if fifo and fifo[0][2] == order_seq[0]:
-                    break
-                order_seq.popleft()
-                order_bank.popleft()
-            oldest_bank = order_bank[0]
-            if oldest_bank in ready:
-                pb = cas_allowed[oldest_bank]
-                t = last_cas_bg[bg_of[oldest_bank]] + tccd_l
-                if t > pb:
-                    pb = t
-                if pb <= bound:
-                    chosen = oldest_bank
-                    t_cas = bound
-
-            if chosen < 0:
-                bg_limits = [t + tccd_l for t in last_cas_bg]
-                best_pb = _FAR_FUTURE
-                best_seq = _FAR_FUTURE
-                achieved = False
-                for b in ready:
-                    pb = cas_allowed[b]
-                    t = bg_limits[bg_of[b]]
-                    if t > pb:
-                        pb = t
-                    if pb <= bound:
-                        seq_b = fifos[b][0][2]
-                        if not achieved or seq_b < best_seq:
-                            achieved = True
-                            best_seq = seq_b
-                            chosen = b
-                    elif not achieved:
-                        seq_b = fifos[b][0][2]
-                        if pb < best_pb or (pb == best_pb and seq_b < best_seq):
-                            best_pb = pb
-                            best_seq = seq_b
-                            chosen = b
-                if chosen < 0:
-                    # Defensive: cannot happen — every non-empty FIFO head
-                    # is in `ready` after the eager loop above.
-                    raise RuntimeError("scheduler deadlock: no prepared bank head")
-                if achieved:
-                    t_cas = bound
-                else:
-                    t_cas = best_pb
-                    if quant:
-                        remainder = t_cas % tck
-                        if remainder:
-                            t_cas += tck - remainder
-
-            fifo = fifos[chosen]
-            row, col, _seqno = fifo.popleft()
-            queued -= 1
-            if not fifo:
-                ready.discard(chosen)
-            elif fifo[0][0] == open_row[chosen]:
-                hits += 1
-            else:
-                ready.discard(chosen)
-                pending.add(chosen)
-                fresh_pending = True
-
-            bg = bg_of[chosen]
-            last_cas = t_cas
-            last_cas_bg[bg] = t_cas
-            data_end = t_cas + latency + burst
-            bus_free = data_end
-            last_data_end = data_end
-            if is_read:
-                t = t_cas + trtp
-            else:
-                t = data_end + twr
-            if t > pre_allowed[chosen]:
-                pre_allowed[chosen] = t
-            if record:
-                kind = CommandType.RD if is_read else CommandType.WR
-                commands.append(
-                    ScheduledCommand(
-                        t_cas, kind, bank=chosen, row=row, column=col, request_id=n_requests
-                    )
-                )
-            n_requests += 1
-            # Inline single-slot intake: the pop above freed exactly one
-            # queue slot and the next request is usually available in the
-            # current chunk buffers — equivalent to (but cheaper than) a
-            # full refill() call.  Any other state falls through to it.
-            if stalled is None and buf_pos < buf_len and queued == queue_depth - 1:
-                bank = buf_banks[buf_pos]
-                row = buf_rows[buf_pos]
-                col = buf_cols[buf_pos]
-                buf_pos += 1
-                fifo = fifos[bank]
-                if len(fifo) >= per_bank_depth:
-                    stalled = (bank, row, col)
-                else:
-                    if not fifo:
-                        pending.add(bank)
-                        fresh_pending = True
-                    fifo.append((row, col, seq))
-                    order_seq.append(seq)
-                    order_bank.append(bank)
-                    seq += 1
-                    queued += 1
-            else:
-                refill()
-
-        stats.requests = n_requests
-        stats.page_hits = hits
-        stats.page_misses = misses
-        stats.page_empties = empties
-        stats.activates = acts
-        stats.precharges = pres
-        stats.refreshes = refs
-        stats.data_time_ps = n_requests * burst
-        stats.makespan_ps = last_data_end
-        stats.command_counts = {
-            CommandType.ACT.value: acts,
-            CommandType.PRE.value: pres,
-            (CommandType.RD if is_read else CommandType.WR).value: n_requests,
-            (CommandType.REF_ALL if all_bank_refresh else CommandType.REF_BANK).value: refs,
-        }
-        return PhaseResult(stats=stats, commands=commands)
+        result = self._engine.run(as_workload(requests), op=op)
+        return PhaseResult(stats=result.stats, commands=result.commands)

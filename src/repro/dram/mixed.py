@@ -8,30 +8,35 @@ request — writing frame k+1 while reading frame k — at the price of
 data-bus turnaround penalties (tRTW between a read and a write command,
 tWTR between write data and a read command).
 
-:func:`run_mixed_phase` schedules such a mixed stream with the same
-per-bank-FIFO architecture as the homogeneous scheduler and charges the
-turnaround constraints;
+:func:`run_mixed_phase` schedules such a mixed stream through the
+shared :class:`~repro.dram.engine.SchedulingEngine` — the same per-bank
+queues, eager row management and age-fair CAS arbiter as the
+homogeneous :meth:`~repro.dram.controller.MemoryController.run_phase`,
+with the engine's direction-turnaround rule set active;
 :func:`steady_state_interleaver` builds the canonical 1:1 write/read
 interleaving of two frames and reports the utilization split.  The
 result quantifies how much turnaround a fine-grained single-device
 design would pay, and thereby why the per-phase (block-alternating)
 methodology of the paper is the right operating model.
+
+Since the unified-engine refactor mixed runs also fill
+``stats.command_counts`` and honor ``policy.record_commands``, so a
+mixed schedule can be dumped with
+:func:`repro.dram.trace.write_trace` and independently validated with
+:class:`repro.dram.trace.TraceChecker` exactly like a homogeneous one.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Iterable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Tuple
 
-from repro.dram.controller import OP_READ, OP_WRITE, ControllerConfig
-from repro.dram.presets import REFRESH_ALL_BANK, DramConfig
-from repro.dram.refresh import RefreshScheduler
+from repro.dram.commands import ScheduledCommand
+from repro.dram.controller import ControllerConfig
+from repro.dram.engine import MixedSource, SchedulingEngine
+from repro.dram.presets import DramConfig
 from repro.dram.stats import PhaseStats
 from repro.mapping.base import InterleaverMapping
-
-_FAR_PAST = -(10**15)
-_FAR_FUTURE = 10**18
 
 #: A mixed request: (is_read, bank, row, column).
 MixedRequest = Tuple[bool, int, int, int]
@@ -46,12 +51,15 @@ class MixedResult:
         reads: number of read bursts.
         writes: number of write bursts.
         turnarounds: bus direction switches that occurred.
+        commands: the scheduled command list (only populated when the
+            policy sets ``record_commands``).
     """
 
     stats: PhaseStats
     reads: int
     writes: int
     turnarounds: int
+    commands: List[ScheduledCommand] = field(default_factory=list)
 
     @property
     def utilization(self) -> float:
@@ -65,9 +73,9 @@ def run_mixed_phase(
 ) -> MixedResult:
     """Schedule a mixed read/write request stream.
 
-    Same architecture as
+    Same engine as
     :meth:`repro.dram.controller.MemoryController.run_phase` (per-bank
-    FIFOs, eager row management, age-fair CAS arbiter) plus the
+    queues, eager row management, age-fair CAS arbiter) plus the
     direction-turnaround rules:
 
     * read -> write: ``WR`` command at least ``tRTW`` after the ``RD``;
@@ -75,275 +83,11 @@ def run_mixed_phase(
       (bank-group-discriminated) after the end of write data.
     """
     policy = policy or ControllerConfig()
-    timing = config.timing
-    geometry = config.geometry
-    n_banks = geometry.banks
-    bank_groups = geometry.bank_groups
-    burst = config.burst_duration_ps
-    # Same command-clock grid rule as the homogeneous scheduler: only
-    # quantize when the clock is exact on the integer-ps timeline (see
-    # repro.dram.controller); tck=1 degenerates to continuous slots.
-    tck = timing.tck if burst % timing.tck == 0 else 1
-    quant = tck > 1
-
-    trp, trcd, tras = timing.trp, timing.trcd, timing.tras
-    trrd_s, trrd_l, tfaw = timing.trrd_s, timing.trrd_l, timing.tfaw
-    tccd_s, tccd_l = timing.tccd_s, timing.tccd_l
-    twr, trtp, trtw = timing.twr, timing.trtp, timing.trtw
-    twtr_s, twtr_l = timing.twtr_s, timing.twtr_l
-    cl, cwl = timing.cl, timing.cwl
-
-    open_row: List[Optional[int]] = [None] * n_banks
-    cas_allowed = [0] * n_banks
-    pre_allowed = [0] * n_banks
-    act_allowed = [0] * n_banks
-    prepared = [False] * n_banks
-
-    refresh = RefreshScheduler(config, enabled=policy.refresh_enabled)
-    all_bank_refresh = config.refresh_mode == REFRESH_ALL_BANK
-
-    last_cas = _FAR_PAST
-    last_cas_bg = [_FAR_PAST] * bank_groups
-    last_act = _FAR_PAST
-    last_act_bg = -1
-    faw_ring = [_FAR_PAST] * 4
-    faw_idx = 0
-    bus_free = 0
-    last_data_end = 0
-    # Direction bookkeeping for turnaround penalties.
-    last_was_read: Optional[bool] = None
-    last_rd_cmd = _FAR_PAST
-    last_wr_data_end = _FAR_PAST
-    last_wr_bg = -1
-
-    fifos: List[Deque[Tuple[int, int, int, bool]]] = [deque() for _ in range(n_banks)]
-    queued = 0
-    seq = 0
-    stalled: Optional[MixedRequest] = None
-    exhausted = False
-    source: Iterator[MixedRequest] = iter(requests)
-
-    stats = PhaseStats()
-    hits = misses = empties = acts = pres = refs = 0
-    n_requests = reads = writes = turnarounds = 0
-
-    def refill() -> None:
-        nonlocal queued, seq, stalled, exhausted
-        while queued < policy.queue_depth:
-            if stalled is not None:
-                is_read, bank, row, col = stalled
-                if len(fifos[bank]) >= policy.per_bank_depth:
-                    return
-                fifos[bank].append((row, col, seq, is_read))
-                seq += 1
-                queued += 1
-                stalled = None
-                continue
-            if exhausted:
-                return
-            item = next(source, None)
-            if item is None:
-                exhausted = True
-                return
-            is_read, bank, row, col = item
-            if len(fifos[bank]) >= policy.per_bank_depth:
-                stalled = item
-                return
-            fifos[bank].append((row, col, seq, is_read))
-            seq += 1
-            queued += 1
-
-    refill()
-
-    while queued:
-        # ---- refresh (same policy as the homogeneous scheduler) ------
-        deadline = refresh.next_deadline_ps
-        while deadline is not None and last_cas >= deadline:
-            event = refresh.due(last_cas)
-            if event is None:
-                break
-            ref_time = event.deadline_ps
-            for b in event.banks:
-                if open_row[b] is not None:
-                    pres += 1
-                    open_row[b] = None
-                    prepared[b] = False
-                    t_pre = pre_allowed[b]
-                    if quant:
-                        remainder = t_pre % tck
-                        if remainder:
-                            t_pre += tck - remainder
-                    ready = t_pre + trp
-                else:
-                    ready = act_allowed[b]
-                if ready > ref_time:
-                    ref_time = ready
-            if quant:
-                remainder = ref_time % tck
-                if remainder:
-                    ref_time += tck - remainder
-            for b in event.banks:
-                open_row[b] = None
-                prepared[b] = False
-                act_allowed[b] = ref_time + event.duration_ps
-            refs += 1
-            deadline = refresh.next_deadline_ps
-
-        # ---- eager row management with the ACT horizon ----------------
-        horizon = bus_free
-        any_prepared = False
-        forced_bank = -1
-        while True:
-            deferred_ready = _FAR_FUTURE
-            deferred_bank = -1
-            for b in range(n_banks):
-                if not fifos[b]:
-                    continue
-                if prepared[b]:
-                    any_prepared = True
-                    continue
-                row = fifos[b][0][0]
-                current = open_row[b]
-                if current == row:
-                    prepared[b] = True
-                    hits += 1
-                    any_prepared = True
-                    continue
-                if current is None:
-                    act_ready = act_allowed[b]
-                else:
-                    t_pre = pre_allowed[b]
-                    if quant:
-                        remainder = t_pre % tck
-                        if remainder:
-                            t_pre += tck - remainder
-                    act_ready = t_pre + trp
-                if act_ready > horizon and b != forced_bank:
-                    if act_ready < deferred_ready:
-                        deferred_ready = act_ready
-                        deferred_bank = b
-                    continue
-                if current is None:
-                    empties += 1
-                else:
-                    misses += 1
-                    pres += 1
-                bg = b % bank_groups
-                t_act = act_ready
-                if last_act != _FAR_PAST:
-                    spacing = trrd_l if bg == last_act_bg else trrd_s
-                    t = last_act + spacing
-                    if t > t_act:
-                        t_act = t
-                t = faw_ring[faw_idx] + tfaw
-                if t > t_act:
-                    t_act = t
-                if quant:
-                    remainder = t_act % tck
-                    if remainder:
-                        t_act += tck - remainder
-                faw_ring[faw_idx] = t_act
-                faw_idx = (faw_idx + 1) & 3
-                last_act = t_act
-                last_act_bg = bg
-                acts += 1
-                open_row[b] = row
-                cas_allowed[b] = t_act + trcd
-                pre_allowed[b] = t_act + tras
-                prepared[b] = True
-                any_prepared = True
-            if any_prepared or deferred_bank < 0:
-                break
-            forced_bank = deferred_bank
-
-        # ---- CAS arbitration with turnaround ---------------------------
-        best_cas = _FAR_FUTURE
-        best_seq = _FAR_FUTURE
-        chosen = -1
-        chosen_cas = 0
-        for b in range(n_banks):
-            if not prepared[b] or not fifos[b]:
-                continue
-            row, col, seq_b, is_read = fifos[b][0]
-            bg = b % bank_groups
-            latency = cl if is_read else cwl
-            t_cas = cas_allowed[b]
-            t = last_cas + tccd_s
-            if t > t_cas:
-                t_cas = t
-            t = last_cas_bg[bg] + tccd_l
-            if t > t_cas:
-                t_cas = t
-            t = bus_free - latency
-            if t > t_cas:
-                t_cas = t
-            if is_read:
-                # write -> read: wait tWTR after the last write's data.
-                if last_wr_data_end != _FAR_PAST:
-                    spacing = twtr_l if bg == last_wr_bg else twtr_s
-                    t = last_wr_data_end + spacing
-                    if t > t_cas:
-                        t_cas = t
-            else:
-                # read -> write: tRTW after the last read command.
-                if last_rd_cmd != _FAR_PAST:
-                    t = last_rd_cmd + trtw
-                    if t > t_cas:
-                        t_cas = t
-            if quant:
-                remainder = t_cas % tck
-                if remainder:
-                    t_cas += tck - remainder
-            if t_cas < best_cas or (t_cas == best_cas and seq_b < best_seq):
-                best_cas = t_cas
-                best_seq = seq_b
-                chosen = b
-                chosen_cas = t_cas
-        if chosen < 0:
-            raise RuntimeError("scheduler deadlock: no prepared bank head")
-
-        row, col, _seq, is_read = fifos[chosen].popleft()
-        queued -= 1
-        prepared[chosen] = bool(fifos[chosen]) and fifos[chosen][0][0] == open_row[chosen]
-        if prepared[chosen]:
-            hits += 1
-
-        bg = chosen % bank_groups
-        latency = cl if is_read else cwl
-        t_cas = chosen_cas
-        last_cas = t_cas
-        last_cas_bg[bg] = t_cas
-        data_end = t_cas + latency + burst
-        bus_free = data_end
-        last_data_end = data_end
-        if last_was_read is not None and last_was_read != is_read:
-            turnarounds += 1
-        last_was_read = is_read
-        if is_read:
-            reads += 1
-            last_rd_cmd = t_cas
-            t = t_cas + trtp
-        else:
-            writes += 1
-            last_wr_data_end = data_end
-            last_wr_bg = bg
-            t = data_end + twr
-        if t > pre_allowed[chosen]:
-            pre_allowed[chosen] = t
-        n_requests += 1
-        refill()
-
-    stats.requests = n_requests
-    stats.page_hits = hits
-    stats.page_misses = misses
-    stats.page_empties = empties
-    stats.activates = acts
-    stats.precharges = pres
-    stats.refreshes = refs
-    stats.data_time_ps = n_requests * burst
-    stats.makespan_ps = last_data_end
-    return MixedResult(stats=stats, reads=reads, writes=writes,
-                       turnarounds=turnarounds)
+    engine = SchedulingEngine(config, policy)
+    result = engine.run(MixedSource(requests))
+    return MixedResult(stats=result.stats, reads=result.reads,
+                       writes=result.writes, turnarounds=result.turnarounds,
+                       commands=result.commands)
 
 
 class RowShiftedMapping(InterleaverMapping):

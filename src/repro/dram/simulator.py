@@ -145,3 +145,24 @@ def simulate_interleaver(
         write=write,
         read=read,
     )
+
+
+def simulate_mixed_interleaver(
+    config: DramConfig,
+    mapping: InterleaverMapping,
+    group: int = 16,
+    policy: Optional[ControllerConfig] = None,
+):
+    """Simulate the steady-state interleaved write(k+1)/read(k) operation.
+
+    The single-device counterpart of :func:`simulate_interleaver`: both
+    frames run through one channel with the requests interleaved in
+    same-direction blocks of ``group``, so the engine's turnaround rule
+    set (tRTW/tWTR) is charged.  Returns a
+    :class:`~repro.dram.mixed.MixedResult`.
+    """
+    # Imported here to keep the simulator importable without the mixed
+    # module at module-load time (mixed imports the mapping base).
+    from repro.dram.mixed import steady_state_interleaver
+
+    return steady_state_interleaver(config, mapping, group=group, policy=policy)

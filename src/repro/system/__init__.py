@@ -12,12 +12,21 @@ from repro.system.campaign import (
     wilson_interval,
 )
 from repro.system.downlink import DownlinkResult, OpticalDownlink
+from repro.system.parallel import (
+    MixedTask,
+    PhaseTask,
+    run_mixed_tasks,
+    run_phase_tasks,
+)
 from repro.system.sweep import (
+    MixedRow,
     SizeSweepPoint,
     Table1Row,
     ablation_factories,
     default_mappings,
+    format_mixed_table,
     format_table1,
+    run_mixed_table,
     run_table1,
     sweep_sizes,
 )
@@ -42,14 +51,21 @@ __all__ = [
     "run_campaign",
     "summarize_campaign",
     "wilson_interval",
+    "MixedRow",
+    "MixedTask",
+    "PhaseTask",
     "SizeSweepPoint",
     "Table1Row",
     "ThroughputReport",
     "ablation_factories",
     "default_mappings",
+    "format_mixed_table",
     "format_table1",
     "provision",
     "required_channels",
+    "run_mixed_table",
+    "run_mixed_tasks",
+    "run_phase_tasks",
     "run_table1",
     "sweep_sizes",
     "throughput_report",

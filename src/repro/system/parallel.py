@@ -20,11 +20,12 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from repro.dram.controller import OP_READ, OP_WRITE, ControllerConfig
+from repro.dram.mixed import MixedResult
 from repro.dram.presets import get_config
-from repro.dram.simulator import simulate_phase
+from repro.dram.simulator import simulate_mixed_interleaver, simulate_phase
 from repro.dram.stats import PhaseStats
 from repro.interleaver.triangular import TriangularIndexSpace
 
@@ -85,6 +86,55 @@ def execute_phase_task(task: PhaseTask) -> PhaseStats:
                           use_arrays=task.use_arrays)
 
 
+@dataclass(frozen=True)
+class MixedTask:
+    """One steady-state mixed-traffic simulation work item.
+
+    Attributes:
+        config_name: preset DRAM configuration name.
+        mapping: mapping registry key (e.g. ``"row-major"``).
+        n: triangular interleaver dimension.
+        group: same-direction requests issued back to back before the
+            stream switches direction (see
+            :func:`repro.dram.mixed.interleaved_stream`).
+        policy: optional controller policy overrides (picklable).
+    """
+
+    config_name: str
+    mapping: str
+    n: int
+    group: int = 16
+    policy: Optional[ControllerConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"interleaver dimension must be >= 1, got {self.n}")
+        if self.group < 1:
+            raise ValueError(f"group must be >= 1, got {self.group}")
+
+
+def execute_mixed_task(task: MixedTask) -> MixedResult:
+    """Run one :class:`MixedTask` to completion (also the worker entry).
+
+    Raises:
+        KeyError: if ``task.config_name`` or ``task.mapping`` is not a
+            known registry key.
+    """
+    from repro.system.sweep import mapping_registry
+
+    registry = mapping_registry()
+    try:
+        factory = registry[task.mapping]
+    except KeyError:
+        known = ", ".join(sorted(registry))
+        raise KeyError(f"unknown mapping {task.mapping!r}; known: {known}") from None
+    config = get_config(task.config_name)
+    space = TriangularIndexSpace(task.n)
+    mapping = factory(space, config.geometry)
+    return simulate_mixed_interleaver(config, mapping, group=task.group,
+                                      policy=task.policy)
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalize a ``--jobs``-style argument to a worker count.
 
@@ -99,28 +149,43 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def run_phase_tasks(
-    tasks: Iterable[PhaseTask],
-    jobs: Optional[int] = None,
-) -> List[PhaseStats]:
-    """Execute tasks, parallel when asked, and return results in order.
-
-    Args:
-        tasks: work items; results come back in the same order.
-        jobs: worker processes (see :func:`resolve_jobs`).  With one
-            worker — or one task — everything runs in-process.
+def _run_tasks(worker, tasks, jobs: Optional[int]) -> list:
+    """Fan ``tasks`` over a process pool; serial fallback, stable order.
 
     The process pool is an optimization, never a requirement: if worker
     processes cannot be spawned (sandboxes, exotic start methods) the
     engine silently degrades to the serial path, which produces the
     identical result list.
     """
-    task_list: Sequence[PhaseTask] = list(tasks)
+    task_list = list(tasks)
     workers = min(resolve_jobs(jobs), len(task_list))
     if workers > 1:
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(execute_phase_task, task_list))
+                return list(pool.map(worker, task_list))
         except (OSError, BrokenProcessPool, PermissionError):
             pass  # fall through to the serial path
-    return [execute_phase_task(task) for task in task_list]
+    return [worker(task) for task in task_list]
+
+
+def run_phase_tasks(
+    tasks: Iterable[PhaseTask],
+    jobs: Optional[int] = None,
+) -> List[PhaseStats]:
+    """Execute phase tasks, parallel when asked, results in order.
+
+    Args:
+        tasks: work items; results come back in the same order.
+        jobs: worker processes (see :func:`resolve_jobs`).  With one
+            worker — or one task — everything runs in-process.
+    """
+    return _run_tasks(execute_phase_task, tasks, jobs)
+
+
+def run_mixed_tasks(
+    tasks: Iterable[MixedTask],
+    jobs: Optional[int] = None,
+) -> List[MixedResult]:
+    """Execute steady-state mixed-traffic tasks; same contract as
+    :func:`run_phase_tasks`."""
+    return _run_tasks(execute_mixed_task, tasks, jobs)

@@ -23,7 +23,12 @@ from repro.interleaver.triangular import TriangularIndexSpace
 from repro.mapping.base import InterleaverMapping
 from repro.mapping.optimized import OptimizedMapping
 from repro.mapping.row_major import RowMajorMapping
-from repro.system.parallel import PhaseTask, run_phase_tasks
+from repro.system.parallel import (
+    MixedTask,
+    PhaseTask,
+    run_mixed_tasks,
+    run_phase_tasks,
+)
 
 #: Mapping factory signature: (space, geometry) -> mapping.
 MappingFactory = Callable[[TriangularIndexSpace, object], InterleaverMapping]
@@ -171,6 +176,84 @@ def format_table1(rows: Sequence[Table1Row]) -> str:
             f"{mark(2, opt_limit)} {mark(3, opt_limit)}"
         )
     lines.append("(* = phase that limits interleaver throughput)")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class MixedRow:
+    """One steady-state mixed-traffic cell (config x mapping).
+
+    Attributes:
+        config_name: DRAM configuration.
+        mapping_name: address mapping used for both frames.
+        utilization: data-bus utilization of the interleaved stream.
+        reads: read bursts issued (one frame's worth).
+        writes: write bursts issued.
+        turnarounds: data-bus direction switches that occurred.
+    """
+
+    config_name: str
+    mapping_name: str
+    utilization: float
+    reads: int
+    writes: int
+    turnarounds: int
+
+
+def run_mixed_table(
+    n: int = 256,
+    config_names: Sequence[str] = TABLE1_CONFIG_NAMES,
+    group: int = 16,
+    policy: Optional[ControllerConfig] = None,
+    jobs: Optional[int] = None,
+) -> List[MixedRow]:
+    """Steady-state interleaved read/write utilization, Table I layout.
+
+    Runs the single-device write(k+1)/read(k) operating mode (the
+    engine's turnaround rule set active) for every requested
+    configuration under both Table I mappings — the scenario the
+    ``run_mixed_phase`` fork used to block from the sweep/CLI layer.
+
+    Args:
+        n: triangular interleaver dimension.
+        config_names: subset of Table I configurations.
+        group: same-direction block length of the interleaved stream
+            (larger groups amortize the turnaround penalty).
+        policy: controller policy overrides applied to every cell.
+        jobs: worker processes (``None``/``1`` serial, ``0`` = all cores).
+    """
+    mapping_names = ("row-major", "optimized")
+    tasks = [
+        MixedTask(config_name=config_name, mapping=mapping_name, n=n,
+                  group=group, policy=policy)
+        for config_name in config_names
+        for mapping_name in mapping_names
+    ]
+    results = run_mixed_tasks(tasks, jobs=jobs)
+    return [
+        MixedRow(
+            config_name=task.config_name,
+            mapping_name=task.mapping,
+            utilization=result.utilization,
+            reads=result.reads,
+            writes=result.writes,
+            turnarounds=result.turnarounds,
+        )
+        for task, result in zip(tasks, results)
+    ]
+
+
+def format_mixed_table(rows: Sequence[MixedRow]) -> str:
+    """Render mixed-traffic rows next to each other per configuration."""
+    lines = [
+        f"{'DRAM':14s} {'mapping':10s} {'mixed util':>10s} {'turnarounds':>12s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.config_name:14s} {row.mapping_name:10s} "
+            f"{row.utilization:10.2%} {row.turnarounds:12d}"
+        )
+    lines.append("(single device, interleaved write/read with turnaround penalties)")
     return "\n".join(lines)
 
 

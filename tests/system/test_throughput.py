@@ -102,3 +102,78 @@ class TestProvision:
         optimized = throughput_report(config, _result(config.name, "optimized", 0.95, 0.95))
         target = 100.0
         assert required_channels(optimized, target) < required_channels(row_major, target)
+
+
+class TestRequiredChannelsRounding:
+    """Ceiling behavior right at the channel-count boundaries."""
+
+    def _report(self, sustained):
+        return ThroughputReport(config_name="X", mapping_name="m",
+                                min_utilization=0.5, peak_bandwidth_gbit=100.0,
+                                sustained_gbit=sustained)
+
+    def test_just_above_boundary_adds_a_channel(self):
+        assert required_channels(self._report(50.0), 100.0 + 1e-6) == 3
+
+    def test_just_below_boundary_stays(self):
+        assert required_channels(self._report(50.0), 100.0 - 1e-6) == 2
+
+    def test_tiny_target_still_needs_one_channel(self):
+        assert required_channels(self._report(50.0), 1e-9) == 1
+
+    def test_large_ratio_exact(self):
+        assert required_channels(self._report(0.5), 500.0) == 1000
+
+    def test_rejects_negative_target(self):
+        with pytest.raises(ValueError):
+            required_channels(self._report(50.0), -5.0)
+
+
+class TestProvisionEdgeCases:
+    def _report(self, name, sustained, peak=100.0):
+        return ThroughputReport(config_name=name, mapping_name="m",
+                                min_utilization=sustained / peak * 2,
+                                peak_bandwidth_gbit=peak,
+                                sustained_gbit=sustained)
+
+    def test_zero_utilization_reports_skipped(self):
+        """A configuration that sustains nothing can never satisfy the
+        target; provision must drop it rather than divide by zero."""
+        reports = [self._report("dead", 0.0), self._report("alive", 50.0)]
+        choices = provision(reports, target_gbit=100.0)
+        assert [c.report.config_name for c in choices] == ["alive"]
+
+    def test_all_zero_reports_yield_no_choices(self):
+        assert provision([self._report("dead", 0.0)], target_gbit=10.0) == []
+
+    def test_ideal_device_oversizing_factor_is_one(self):
+        """A perfect device (sustained = peak/2) bought exactly at the
+        target has zero bandwidth tax."""
+        choices = provision([self._report("ideal", 50.0)], target_gbit=50.0)
+        assert choices[0].channels == 1
+        assert choices[0].oversizing_factor == pytest.approx(1.0)
+
+    def test_oversizing_grows_with_rounding_waste(self):
+        """Needing 1.01 channels buys 2: the factor reflects the waste."""
+        choices = provision([self._report("waste", 50.0)], target_gbit=50.5)
+        assert choices[0].channels == 2
+        assert choices[0].oversizing_factor == pytest.approx(200.0 / 101.0)
+
+    def test_max_channels_boundary_inclusive(self):
+        choices = provision([self._report("fit", 50.0)], target_gbit=100.0,
+                            max_channels=2)
+        assert len(choices) == 1 and choices[0].channels == 2
+
+    def test_max_channels_boundary_exclusive(self):
+        choices = provision([self._report("fit", 50.0)], target_gbit=101.0,
+                            max_channels=2)
+        assert choices == []
+
+    def test_equal_cost_prefers_headroom(self):
+        """Tie on bought bandwidth and channel count: the configuration
+        sustaining more (more headroom) ranks first."""
+        slow = self._report("slow", 40.0)
+        fast = self._report("fast", 60.0)
+        choices = provision([slow, fast], target_gbit=30.0)
+        assert choices[0].report.config_name == "fast"
+        assert choices[0].total_peak_gbit == choices[1].total_peak_gbit

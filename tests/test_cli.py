@@ -14,8 +14,8 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("table1", "ablation", "fig1", "downlink", "campaign",
-                        "provision", "configs"):
+        for command in ("table1", "mixed", "ablation", "fig1", "downlink",
+                        "campaign", "provision", "trace", "configs"):
             assert command in text
 
 
@@ -47,6 +47,80 @@ class TestTable1:
         assert main(["table1", "--n", "48", "--configs", "DDR3-800",
                      "--jobs", "2"]) == 0
         assert "DDR3-800" in capsys.readouterr().out
+
+
+class TestMixed:
+    def test_runs_table(self, capsys):
+        assert main(["mixed", "--n", "48", "--configs", "DDR4-3200"]) == 0
+        out = capsys.readouterr().out
+        assert "DDR4-3200" in out
+        assert "row-major" in out and "optimized" in out
+        assert "turnaround" in out
+
+    def test_unknown_config_fails(self, capsys):
+        assert main(["mixed", "--configs", "DDR9-1"]) == 2
+        assert "unknown configurations" in capsys.readouterr().err
+
+    def test_rejects_bad_group(self, capsys):
+        assert main(["mixed", "--n", "48", "--group", "0"]) == 2
+        assert "--group" in capsys.readouterr().err
+
+    def test_group_flag(self, capsys):
+        assert main(["mixed", "--n", "48", "--group", "64",
+                     "--configs", "DDR3-800"]) == 0
+        assert "DDR3-800" in capsys.readouterr().out
+
+    def test_jobs_flag(self, capsys):
+        assert main(["mixed", "--n", "48", "--configs", "DDR4-3200",
+                     "--jobs", "2"]) == 0
+        capsys.readouterr()
+
+    def test_no_refresh_flag(self, capsys):
+        assert main(["mixed", "--n", "48", "--no-refresh",
+                     "--configs", "DDR3-800"]) == 0
+        capsys.readouterr()
+
+
+class TestTrace:
+    def test_schedules_and_checks(self, capsys):
+        assert main(["trace", "--config", "DDR4-3200", "--mapping", "optimized",
+                     "--phase", "read", "--n", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "DDR4-3200" in out
+        assert "violations: 0" in out
+
+    def test_writes_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "phase.trace"
+        assert main(["trace", "--n", "24", "--out", str(path)]) == 0
+        capsys.readouterr()
+        text = path.read_text()
+        assert text.startswith("# repro-dram-trace-v1")
+        assert " RD " in text or " ACT " in text
+
+    def test_replay_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "phase.trace"
+        assert main(["trace", "--n", "24", "--phase", "write",
+                     "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "--config", "DDR4-3200",
+                     "--replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "original violations: 0" in out
+        assert "re-scheduled" in out
+
+    def test_replay_missing_file_fails(self, tmp_path, capsys):
+        assert main(["trace", "--replay", str(tmp_path / "nope.trace")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_replay_bad_header_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.trace"
+        bad.write_text("not a trace\n")
+        assert main(["trace", "--replay", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_config_fails(self, capsys):
+        assert main(["trace", "--config", "HBM9"]) == 2
+        capsys.readouterr()
 
 
 class TestAblation:
