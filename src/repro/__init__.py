@@ -56,8 +56,11 @@ from repro.mapping import (
 )
 from repro.system import (
     OpticalDownlink,
+    energy_pareto,
+    format_energy_table,
     format_table1,
     provision,
+    run_energy_table,
     run_table1,
     throughput_report,
 )
@@ -89,10 +92,13 @@ __all__ = [
     "TwoStageInterleaver",
     "all_configs",
     "coherence_params",
+    "energy_pareto",
+    "format_energy_table",
     "format_table1",
     "get_config",
     "profile_mapping",
     "provision",
+    "run_energy_table",
     "run_table1",
     "simulate_interleaver",
     "simulate_phase",

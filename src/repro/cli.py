@@ -5,6 +5,7 @@ Commands:
 * ``table1``    — regenerate the paper's Table I (any subset of configs)
 * ``mixed``     — steady-state interleaved read/write utilization
 * ``ablation``  — per-optimization ablation of the optimized mapping
+* ``energy``    — per-frame energy table and the provisioning Pareto chart
 * ``fig1``      — render the Fig. 1 mapping panels as text
 * ``downlink``  — run the optical-downlink reliability comparison
 * ``campaign``  — Monte Carlo downlink campaign over a fade/geometry grid
@@ -12,10 +13,10 @@ Commands:
 * ``trace``     — record a phase's command trace and replay-check it
 * ``configs``   — list the built-in device configurations
 
-Simulation grids (``table1``, ``mixed``, ``ablation``) accept
-``--jobs N`` to fan the (config x mapping x phase) work items out over
-N worker processes (``--jobs 0`` = all cores); results are identical
-to a serial run.
+Simulation grids (``table1``, ``mixed``, ``ablation``, ``energy``)
+accept ``--jobs N`` to fan the (config x mapping x phase) work items
+out over N worker processes (``--jobs 0`` = all cores); results are
+identical to a serial run.
 
 Every command prints plain text and exits non-zero on bad arguments, so
 the CLI is scriptable from shell pipelines.
@@ -49,15 +50,17 @@ from repro.system.campaign import (
 from repro.system.downlink import OpticalDownlink
 from repro.system.sweep import (
     ablation_factories,
+    format_energy_table,
     format_mixed_table,
     format_table1,
+    run_energy_table,
     run_mixed_table,
     run_table1,
     sweep_ablation,
 )
-from repro.system.throughput import provision, throughput_report
+from repro.system.throughput import energy_pareto, provision, throughput_report
 from repro.units import gbit_per_s
-from repro.viz import render_campaign_gains, render_figure1
+from repro.viz import render_campaign_gains, render_energy_pareto, render_figure1
 
 
 def _add_jobs_argument(parser) -> None:
@@ -156,6 +159,51 @@ def _cmd_ablation(args) -> int:
         print(f"{point.config_name:14s} {point.variant:18s} "
               f"{point.write_utilization:8.2%} {point.read_utilization:8.2%} "
               f"{point.min_utilization:8.2%}")
+    return 0
+
+
+def _add_energy(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "energy",
+        help="per-frame energy accounting and the provisioning Pareto chart")
+    parser.add_argument("--n", type=int, default=256,
+                        help="triangle dimension (default 256)")
+    parser.add_argument("--no-refresh", action="store_true",
+                        help="disable refresh (the paper's >99%% experiment)")
+    parser.add_argument("--configs", nargs="*", metavar="NAME",
+                        help="subset of configurations (default: all ten)")
+    parser.add_argument("--max-channels", type=int, default=4, metavar="K",
+                        help="channel counts spanned by the Pareto report "
+                             "(default 4)")
+    parser.add_argument("--no-pareto", action="store_true",
+                        help="print only the energy table, skip the "
+                             "provisioning Pareto chart")
+    _add_jobs_argument(parser)
+    parser.set_defaults(func=_cmd_energy)
+
+
+def _cmd_energy(args) -> int:
+    names = tuple(args.configs) if args.configs else TABLE1_CONFIG_NAMES
+    unknown = set(names) - set(TABLE1_CONFIG_NAMES)
+    if unknown:
+        print(f"error: unknown configurations {sorted(unknown)}", file=sys.stderr)
+        return 2
+    if args.max_channels < 1:
+        print("error: --max-channels must be >= 1", file=sys.stderr)
+        return 2
+    policy = ControllerConfig(refresh_enabled=not args.no_refresh)
+    rows = run_energy_table(n=args.n, config_names=names, policy=policy,
+                            jobs=args.jobs)
+    print(format_energy_table(rows))
+    if not args.no_pareto:
+        cells = [
+            (throughput_report(get_config(row.config_name), row.result),
+             row.combined)
+            for row in rows
+        ]
+        points = energy_pareto(cells, max_channels=args.max_channels)
+        print()
+        print(render_energy_pareto(points))
     return 0
 
 
@@ -462,6 +510,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_table1(subparsers)
     _add_mixed(subparsers)
     _add_ablation(subparsers)
+    _add_energy(subparsers)
     _add_fig1(subparsers)
     _add_downlink(subparsers)
     _add_campaign(subparsers)

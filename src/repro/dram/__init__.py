@@ -19,9 +19,15 @@ from repro.dram.commands import CommandType, ScheduledCommand
 from repro.dram.energy import (
     EnergyParams,
     EnergyReport,
+    combine_interleaver_reports,
+    command_arrays,
+    energy_from_commands,
+    energy_from_commands_reference,
+    energy_from_tally,
     energy_params_for,
     interleaver_energy,
     phase_energy,
+    refresh_command_energy_pj,
 )
 from repro.dram.controller import (
     OP_READ,
@@ -65,7 +71,7 @@ from repro.dram.simulator import (
     simulate_phase,
     simulate_phase_result,
 )
-from repro.dram.stats import PhaseStats, min_phase_utilization
+from repro.dram.stats import EnergyTally, PhaseStats, min_phase_utilization
 from repro.dram.timing import TimingParams, from_datasheet
 from repro.dram.trace import TraceChecker, Violation, check_phase_commands, read_trace, write_trace
 
@@ -78,6 +84,7 @@ __all__ = [
     "EngineResult",
     "EnergyParams",
     "EnergyReport",
+    "EnergyTally",
     "Geometry",
     "InterleaverSimResult",
     "LinearDecoder",
@@ -105,7 +112,13 @@ __all__ = [
     "all_configs",
     "as_workload",
     "check_phase_commands",
+    "combine_interleaver_reports",
+    "command_arrays",
+    "energy_from_commands",
+    "energy_from_commands_reference",
+    "energy_from_tally",
     "energy_params_for",
+    "refresh_command_energy_pj",
     "interleaved_stream",
     "interleaver_energy",
     "from_datasheet",

@@ -11,22 +11,47 @@ of DRAMPower and vendor power calculators:
 
 * ``e_act_pre``: one ACT/PRE pair (charging a row, restoring it),
 * ``e_rd`` / ``e_wr``: one burst transfer, including I/O,
-* ``e_ref``: one refresh command (tRFC worth of all-bank current),
+* ``e_ref``: one refresh command in the configuration's refresh mode
+  (tRFC worth of all-bank current for REFab, the much smaller
+  single-bank charge for REFpb/REFsb — see
+  :func:`refresh_command_energy_pj`),
 * ``p_background``: standby power integrated over the phase makespan.
 
 Values are derived from public IDD/IPP datasheet figures and scale with
 the page size and bus width of the presets; they are representative,
 not vendor-exact (the reproduction compares *mappings*, and both
-mappings see identical parameters).
+mappings see identical parameters).  Every Table I configuration has
+its own preset (:func:`energy_params_for`): the faster grade of each
+family pays slightly less per access (newer bins) but more background
+power (interface and clocking running at speed).
+
+Three equivalent accounting paths exist, proven exactly equal by the
+differential battery in ``tests/dram/test_energy_differential.py``:
+
+* :func:`energy_from_tally` — from the integer
+  :class:`~repro.dram.stats.EnergyTally` the scheduling engine fills on
+  every :class:`~repro.dram.stats.PhaseStats` (free: the engine already
+  keeps every counter the model charges);
+* :func:`energy_from_commands` — the vectorized NumPy recount over a
+  recorded command list or prebuilt :func:`command_arrays`;
+* :func:`energy_from_commands_reference` — the scalar per-command
+  Python loop, kept as the readable oracle (and the baseline the
+  ``benchmarks/bench_energy.py`` speedup assertion is pinned against).
+
+All three count commands first and multiply counts by per-command
+energies once, so float summation order can never make them disagree.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Iterable, Sequence, Tuple, Union
 
-from repro.dram.presets import DramConfig
-from repro.dram.stats import PhaseStats
+import numpy as np
+
+from repro.dram.commands import CommandType, ScheduledCommand
+from repro.dram.presets import REFRESH_PER_BANK, DramConfig
+from repro.dram.stats import EnergyTally, PhaseStats
 from repro.units import PS_PER_S
 
 
@@ -38,10 +63,15 @@ class EnergyParams:
         e_act_pre_pj: energy of one ACT + PRE pair.
         e_rd_pj: energy of one read burst (core + I/O).
         e_wr_pj: energy of one write burst.
-        e_ref_pj: energy of one refresh command (REFab or REFpb as the
-            standard uses).
+        e_ref_pj: energy of one refresh command in the configuration's
+            *native* refresh mode (REFab for DDR3/DDR4, REFpb/REFsb for
+            DDR5/LPDDR).
         p_background_mw: standby/active-idle power charged over the
             whole phase duration.
+        e_ref_ab_pj: energy of one *all-bank* refresh command, for
+            families whose native mode is per-bank but which can be run
+            with all-bank refresh (``0`` when the native mode already
+            is all-bank — ``e_ref_pj`` then applies).
     """
 
     e_act_pre_pj: float
@@ -49,9 +79,11 @@ class EnergyParams:
     e_wr_pj: float
     e_ref_pj: float
     p_background_mw: float
+    e_ref_ab_pj: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("e_act_pre_pj", "e_rd_pj", "e_wr_pj", "e_ref_pj", "p_background_mw"):
+        for name in ("e_act_pre_pj", "e_rd_pj", "e_wr_pj", "e_ref_pj",
+                     "p_background_mw", "e_ref_ab_pj"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
 
@@ -59,23 +91,67 @@ class EnergyParams:
 #: Representative per-family energy parameters (x-bit-width-scaled when
 #: applied).  ACT/PRE energy scales with page size; burst energy with
 #: bytes moved.  Sources: vendor DDR3/DDR4 power calculators, LPDDR
-#: datasheet IDD figures, DRAMPower defaults; rounded.
+#: datasheet IDD figures, DRAMPower defaults; rounded.  Used as the
+#: fallback for custom configurations of a known family; the Table I
+#: presets in :data:`_CONFIG_PARAMS` take precedence by name.
 _FAMILY_PARAMS: Dict[str, EnergyParams] = {
     "DDR3": EnergyParams(e_act_pre_pj=3200.0, e_rd_pj=2100.0, e_wr_pj=2200.0,
                          e_ref_pj=45000.0, p_background_mw=350.0),
     "DDR4": EnergyParams(e_act_pre_pj=2400.0, e_rd_pj=1400.0, e_wr_pj=1500.0,
                          e_ref_pj=60000.0, p_background_mw=280.0),
     "DDR5": EnergyParams(e_act_pre_pj=1500.0, e_rd_pj=900.0, e_wr_pj=950.0,
-                         e_ref_pj=7000.0, p_background_mw=220.0),
+                         e_ref_pj=7000.0, p_background_mw=220.0,
+                         e_ref_ab_pj=120000.0),
     "LPDDR4": EnergyParams(e_act_pre_pj=1200.0, e_rd_pj=450.0, e_wr_pj=480.0,
-                           e_ref_pj=5500.0, p_background_mw=45.0),
+                           e_ref_pj=5500.0, p_background_mw=45.0,
+                           e_ref_ab_pj=40000.0),
     "LPDDR5": EnergyParams(e_act_pre_pj=900.0, e_rd_pj=320.0, e_wr_pj=340.0,
-                           e_ref_pj=4200.0, p_background_mw=40.0),
+                           e_ref_pj=4200.0, p_background_mw=40.0,
+                           e_ref_ab_pj=32000.0),
+}
+
+#: Per-configuration presets for all ten Table I speed grades.  The
+#: slower grade of each family keeps the family baseline (by
+#: reference, one source of truth); the faster grade trades slightly
+#: lower per-access energy (newer process bins) for higher background
+#: power (DLL/PLL, interface training at speed).
+_CONFIG_PARAMS: Dict[str, EnergyParams] = {
+    "DDR3-800": _FAMILY_PARAMS["DDR3"],
+    "DDR3-1600": EnergyParams(e_act_pre_pj=3000.0, e_rd_pj=1950.0,
+                              e_wr_pj=2050.0, e_ref_pj=45000.0,
+                              p_background_mw=390.0),
+    "DDR4-1600": _FAMILY_PARAMS["DDR4"],
+    "DDR4-3200": EnergyParams(e_act_pre_pj=2250.0, e_rd_pj=1300.0,
+                              e_wr_pj=1400.0, e_ref_pj=60000.0,
+                              p_background_mw=320.0),
+    "DDR5-3200": _FAMILY_PARAMS["DDR5"],
+    "DDR5-6400": EnergyParams(e_act_pre_pj=1400.0, e_rd_pj=840.0,
+                              e_wr_pj=890.0, e_ref_pj=7000.0,
+                              p_background_mw=250.0, e_ref_ab_pj=120000.0),
+    "LPDDR4-2133": _FAMILY_PARAMS["LPDDR4"],
+    "LPDDR4-4266": EnergyParams(e_act_pre_pj=1120.0, e_rd_pj=420.0,
+                                e_wr_pj=450.0, e_ref_pj=5500.0,
+                                p_background_mw=52.0, e_ref_ab_pj=40000.0),
+    "LPDDR5-4267": _FAMILY_PARAMS["LPDDR5"],
+    "LPDDR5-8533": EnergyParams(e_act_pre_pj=840.0, e_rd_pj=300.0,
+                                e_wr_pj=320.0, e_ref_pj=4200.0,
+                                p_background_mw=46.0, e_ref_ab_pj=32000.0),
 }
 
 
 def energy_params_for(config: DramConfig) -> EnergyParams:
-    """Energy parameters for one of the preset configurations."""
+    """Energy parameters for a configuration.
+
+    Table I configurations resolve to their per-grade preset in
+    :data:`_CONFIG_PARAMS`; custom configurations of a known family
+    fall back to the family baseline.
+
+    Raises:
+        KeyError: for an unknown family with no per-config preset.
+    """
+    params = _CONFIG_PARAMS.get(config.name)
+    if params is not None:
+        return params
     try:
         return _FAMILY_PARAMS[config.family]
     except KeyError:
@@ -83,6 +159,20 @@ def energy_params_for(config: DramConfig) -> EnergyParams:
             f"no energy parameters for family {config.family!r}; "
             f"known: {sorted(_FAMILY_PARAMS)}"
         ) from None
+
+
+def refresh_command_energy_pj(params: EnergyParams, config: DramConfig) -> float:
+    """Energy of one refresh command under ``config.refresh_mode``.
+
+    ``e_ref_pj`` is the native-mode value.  A per-bank-native
+    configuration run with all-bank refresh (legal whenever a test or
+    scenario swaps the mode) charges ``e_ref_ab_pj`` instead — one
+    REFab sweeps every bank at once and costs correspondingly more than
+    a single-bank REFpb/REFsb.
+    """
+    if config.refresh_mode != REFRESH_PER_BANK and params.e_ref_ab_pj > 0:
+        return params.e_ref_ab_pj
+    return params.e_ref_pj
 
 
 @dataclass(frozen=True)
@@ -97,6 +187,7 @@ class EnergyReport:
     refresh_nj: float
     background_nj: float
     payload_bytes: int
+    makespan_ps: int = 0
 
     @property
     def total_nj(self) -> float:
@@ -118,6 +209,37 @@ class EnergyReport:
             return 0.0
         return self.activation_nj / total
 
+    @property
+    def avg_power_mw(self) -> float:
+        """Average power over the phase makespan, in milliwatts."""
+        if self.makespan_ps <= 0:
+            return 0.0
+        # nJ / ps = 1e-9 J / 1e-12 s = 1e3 W = 1e6 mW.
+        return self.total_nj / self.makespan_ps * 1e6
+
+
+def _build_report(config: DramConfig, params: EnergyParams, act_pre: int,
+                  rd: int, wr: int, ref: int, makespan_ps: int) -> EnergyReport:
+    """The one place count tallies turn into joules.
+
+    Every accounting path (stats, tally, vectorized or scalar command
+    recount) funnels through this function with plain integer counts,
+    so identical counts produce bit-identical float reports.
+    """
+    activation_nj = act_pre * params.e_act_pre_pj / 1000.0
+    burst_nj = (rd * params.e_rd_pj + wr * params.e_wr_pj) / 1000.0
+    refresh_nj = ref * refresh_command_energy_pj(params, config) / 1000.0
+    seconds = makespan_ps / PS_PER_S
+    background_nj = params.p_background_mw * 1e-3 * seconds * 1e9
+    return EnergyReport(
+        activation_nj=activation_nj,
+        burst_nj=burst_nj,
+        refresh_nj=refresh_nj,
+        background_nj=background_nj,
+        payload_bytes=(rd + wr) * config.geometry.burst_bytes,
+        makespan_ps=makespan_ps,
+    )
+
 
 def phase_energy(config: DramConfig, stats: PhaseStats, op: str = "RD",
                  params: EnergyParams = None) -> EnergyReport:
@@ -132,30 +254,187 @@ def phase_energy(config: DramConfig, stats: PhaseStats, op: str = "RD",
     if op not in ("RD", "WR"):
         raise ValueError(f"op must be 'RD' or 'WR', got {op!r}")
     params = params or energy_params_for(config)
-    e_burst = params.e_rd_pj if op == "RD" else params.e_wr_pj
-    activation_nj = stats.activates * params.e_act_pre_pj / 1000.0
-    burst_nj = stats.requests * e_burst / 1000.0
-    refresh_nj = stats.refreshes * params.e_ref_pj / 1000.0
-    seconds = stats.makespan_ps / PS_PER_S
-    background_nj = params.p_background_mw * 1e-3 * seconds * 1e9
+    is_read = op == "RD"
+    return _build_report(
+        config, params,
+        act_pre=stats.activates,
+        rd=stats.requests if is_read else 0,
+        wr=0 if is_read else stats.requests,
+        ref=stats.refreshes,
+        makespan_ps=stats.makespan_ps,
+    )
+
+
+def energy_from_tally(config: DramConfig, tally: EnergyTally,
+                      params: EnergyParams = None) -> EnergyReport:
+    """Energy of one phase from the engine's integer command tallies.
+
+    This is the zero-cost production path: the scheduling engine fills
+    ``stats.energy_tally`` on every run from counters it already keeps,
+    and this function turns those counts into an :class:`EnergyReport`.
+    Exactly equal — not approximately — to recounting the recorded
+    command list with :func:`energy_from_commands`.
+    """
+    params = params or energy_params_for(config)
+    return _build_report(config, params, act_pre=tally.act_pre, rd=tally.rd,
+                         wr=tally.wr, ref=tally.ref,
+                         makespan_ps=tally.makespan_ps)
+
+
+#: Integer codes for the vectorized command recount.
+_CODE_OF: Dict[CommandType, int] = {
+    CommandType.ACT: 0,
+    CommandType.PRE: 1,
+    CommandType.RD: 2,
+    CommandType.WR: 3,
+    CommandType.REF_ALL: 4,
+    CommandType.REF_BANK: 5,
+}
+
+#: A command list lowered to columnar arrays: (codes int8, times int64).
+CommandArrays = Tuple[np.ndarray, np.ndarray]
+
+
+def command_arrays(commands: Sequence[ScheduledCommand]) -> CommandArrays:
+    """Lower a recorded command list to ``(codes, times)`` NumPy arrays.
+
+    The columnar shape :func:`energy_from_commands` consumes directly;
+    lower once, recount as often as needed (e.g. under several
+    parameter sets) at pure-NumPy speed.
+    """
+    n = len(commands)
+    codes = np.fromiter((_CODE_OF[c.command] for c in commands),
+                        dtype=np.int8, count=n)
+    times = np.fromiter((c.time_ps for c in commands),
+                        dtype=np.int64, count=n)
+    return codes, times
+
+
+def _trace_makespan(config: DramConfig, rd_times, wr_times) -> int:
+    """End of the last data burst implied by the CAS issue times.
+
+    Data-burst ends are strictly increasing in issue order (the bus is
+    serialized), so the maximum over per-direction ends equals the
+    engine's ``makespan_ps`` exactly.
+    """
+    timing = config.timing
+    burst = config.burst_duration_ps
+    makespan = 0
+    if len(rd_times):
+        makespan = int(rd_times.max()) + timing.cl + burst
+    if len(wr_times):
+        wr_end = int(wr_times.max()) + timing.cwl + burst
+        if wr_end > makespan:
+            makespan = wr_end
+    return makespan
+
+
+def energy_from_commands(
+    config: DramConfig,
+    commands: Union[Sequence[ScheduledCommand], CommandArrays],
+    params: EnergyParams = None,
+) -> EnergyReport:
+    """Vectorized energy recount over a recorded command stream.
+
+    Args:
+        config: the configuration the commands were scheduled for.
+        commands: a recorded :class:`ScheduledCommand` sequence (from
+            ``policy.record_commands``) or the prebuilt
+            :func:`command_arrays` columnar form.
+        params: override the preset energy parameters.
+
+    The independent reference for the engine's zero-cost tallies:
+    command-type counts come from one ``np.bincount`` and the makespan
+    from the latest data-burst end, then the identical count-based
+    arithmetic as :func:`energy_from_tally` applies — so the two paths
+    are exactly equal whenever the recorded command list is consistent
+    with the engine's counters.
+    """
+    params = params or energy_params_for(config)
+    if isinstance(commands, tuple) and len(commands) == 2 \
+            and isinstance(commands[0], np.ndarray):
+        codes, times = commands
+    else:
+        codes, times = command_arrays(
+            commands if hasattr(commands, "__len__") else list(commands))
+    counts = np.bincount(codes, minlength=len(_CODE_OF))
+    rd = int(counts[_CODE_OF[CommandType.RD]])
+    wr = int(counts[_CODE_OF[CommandType.WR]])
+    makespan = _trace_makespan(
+        config,
+        times[codes == _CODE_OF[CommandType.RD]] if rd else times[:0],
+        times[codes == _CODE_OF[CommandType.WR]] if wr else times[:0],
+    )
+    return _build_report(
+        config, params,
+        act_pre=int(counts[_CODE_OF[CommandType.ACT]]),
+        rd=rd,
+        wr=wr,
+        ref=int(counts[_CODE_OF[CommandType.REF_ALL]]
+                + counts[_CODE_OF[CommandType.REF_BANK]]),
+        makespan_ps=makespan,
+    )
+
+
+def energy_from_commands_reference(
+    config: DramConfig,
+    commands: Iterable[ScheduledCommand],
+    params: EnergyParams = None,
+) -> EnergyReport:
+    """Scalar per-command recount — the readable oracle.
+
+    Pure-Python loop over the command list; exactly equal to
+    :func:`energy_from_commands` (same counts, same arithmetic) and the
+    baseline for the pinned vectorized speedup in
+    ``benchmarks/bench_energy.py``.
+    """
+    params = params or energy_params_for(config)
+    timing = config.timing
+    burst = config.burst_duration_ps
+    act = rd = wr = ref = 0
+    makespan = 0
+    for command in commands:
+        kind = command.command
+        if kind is CommandType.RD:
+            rd += 1
+            end = command.time_ps + timing.cl + burst
+            if end > makespan:
+                makespan = end
+        elif kind is CommandType.WR:
+            wr += 1
+            end = command.time_ps + timing.cwl + burst
+            if end > makespan:
+                makespan = end
+        elif kind is CommandType.ACT:
+            act += 1
+        elif kind is CommandType.REF_ALL or kind is CommandType.REF_BANK:
+            ref += 1
+    return _build_report(config, params, act_pre=act, rd=rd, wr=wr, ref=ref,
+                         makespan_ps=makespan)
+
+
+def combine_interleaver_reports(write: EnergyReport,
+                                read: EnergyReport) -> EnergyReport:
+    """Combine write- and read-phase reports into one frame report.
+
+    Payload bytes are counted once (each byte is written once and read
+    once); makespans add, so :attr:`EnergyReport.avg_power_mw` averages
+    over the whole frame.
+    """
     return EnergyReport(
-        activation_nj=activation_nj,
-        burst_nj=burst_nj,
-        refresh_nj=refresh_nj,
-        background_nj=background_nj,
-        payload_bytes=stats.requests * config.geometry.burst_bytes,
+        activation_nj=write.activation_nj + read.activation_nj,
+        burst_nj=write.burst_nj + read.burst_nj,
+        refresh_nj=write.refresh_nj + read.refresh_nj,
+        background_nj=write.background_nj + read.background_nj,
+        payload_bytes=write.payload_bytes,
+        makespan_ps=write.makespan_ps + read.makespan_ps,
     )
 
 
 def interleaver_energy(config: DramConfig, write: PhaseStats, read: PhaseStats,
                        params: EnergyParams = None) -> EnergyReport:
     """Combined write+read energy of one interleaver frame."""
-    w = phase_energy(config, write, "WR", params)
-    r = phase_energy(config, read, "RD", params)
-    return EnergyReport(
-        activation_nj=w.activation_nj + r.activation_nj,
-        burst_nj=w.burst_nj + r.burst_nj,
-        refresh_nj=w.refresh_nj + r.refresh_nj,
-        background_nj=w.background_nj + r.background_nj,
-        payload_bytes=w.payload_bytes,  # each payload byte written once, read once
+    return combine_interleaver_reports(
+        phase_energy(config, write, "WR", params),
+        phase_energy(config, read, "RD", params),
     )

@@ -54,7 +54,7 @@ from repro.dram.bank import BankSnapshot
 from repro.dram.commands import CAS_COMMANDS, CommandType, ScheduledCommand
 from repro.dram.presets import REFRESH_ALL_BANK, DramConfig
 from repro.dram.refresh import RefreshScheduler
-from repro.dram.stats import PhaseStats
+from repro.dram.stats import EnergyTally, PhaseStats
 
 #: Operation kinds for homogeneous sources (shared with the controller).
 OP_READ = "RD"
@@ -928,5 +928,9 @@ class SchedulingEngine:
                 (CommandType.RD if is_read else CommandType.WR).value: n_requests,
                 ref_key: refs,
             }
+        # Energy tallies cost nothing extra: every counter the energy
+        # model charges already exists for the scheduling statistics.
+        stats.energy_tally = EnergyTally(act_pre=acts, rd=reads, wr=writes,
+                                         ref=refs, makespan_ps=last_data_end)
         return EngineResult(stats=stats, commands=commands, reads=reads,
                             writes=writes, turnarounds=turnarounds)

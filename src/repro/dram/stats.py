@@ -14,7 +14,49 @@ last data burst.  The maximum interleaver throughput is set by the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class EnergyTally:
+    """Per-command tallies the energy model charges (engine-filled).
+
+    Pure integer counters: the scheduling engine derives one of these
+    from counters it already keeps in its hot loop, so command-level
+    energy accounting costs nothing per request — no per-command Python
+    object is ever created for it.  :func:`repro.dram.energy
+    .energy_from_tally` turns a tally into an
+    :class:`~repro.dram.energy.EnergyReport`, and the differential
+    battery in ``tests/dram/test_energy_differential.py`` proves the
+    tally exactly equals a recount over the recorded command list.
+
+    Attributes:
+        act_pre: ACT commands issued (each is charged as one ACT/PRE
+            row-cycle pair; refresh-forced extra PREs ride along free,
+            like DRAMPower's pairing convention).
+        rd: read bursts issued.
+        wr: write bursts issued.
+        ref: refresh commands issued (REFab or REFpb, whichever the
+            configuration's refresh mode uses).
+        makespan_ps: phase start to end of last data burst — the window
+            over which background power is integrated.
+    """
+
+    act_pre: int = 0
+    rd: int = 0
+    wr: int = 0
+    ref: int = 0
+    makespan_ps: int = 0
+
+    def merge(self, other: "EnergyTally") -> "EnergyTally":
+        """Combine two phases as if run back to back."""
+        return EnergyTally(
+            act_pre=self.act_pre + other.act_pre,
+            rd=self.rd + other.rd,
+            wr=self.wr + other.wr,
+            ref=self.ref + other.ref,
+            makespan_ps=self.makespan_ps + other.makespan_ps,
+        )
 
 
 @dataclass
@@ -32,6 +74,9 @@ class PhaseStats:
         data_time_ps: total data-bus busy time.
         makespan_ps: time from phase start to end of last burst.
         command_counts: per-command-type issue counts.
+        energy_tally: energy-model command tallies (engine-filled;
+            excluded from equality so engine stats still compare equal
+            to oracles that never tallied energy).
     """
 
     requests: int = 0
@@ -44,6 +89,8 @@ class PhaseStats:
     data_time_ps: int = 0
     makespan_ps: int = 0
     command_counts: Dict[str, int] = field(default_factory=dict)
+    energy_tally: Optional[EnergyTally] = field(default=None, compare=False,
+                                                repr=False)
 
     @property
     def utilization(self) -> float:
@@ -79,6 +126,8 @@ class PhaseStats:
             data_time_ps=self.data_time_ps + other.data_time_ps,
             makespan_ps=self.makespan_ps + other.makespan_ps,
         )
+        if self.energy_tally is not None and other.energy_tally is not None:
+            merged.energy_tally = self.energy_tally.merge(other.energy_tally)
         for counts in (self.command_counts, other.command_counts):
             for name, count in counts.items():
                 merged.command_counts[name] = merged.command_counts.get(name, 0) + count

@@ -25,7 +25,12 @@ from typing import Iterable, List, Optional
 from repro.dram.controller import OP_READ, OP_WRITE, ControllerConfig
 from repro.dram.mixed import MixedResult
 from repro.dram.presets import get_config
-from repro.dram.simulator import simulate_mixed_interleaver, simulate_phase
+from repro.dram.simulator import (
+    InterleaverSimResult,
+    simulate_interleaver,
+    simulate_mixed_interleaver,
+    simulate_phase,
+)
 from repro.dram.stats import PhaseStats
 from repro.interleaver.triangular import TriangularIndexSpace
 
@@ -84,6 +89,56 @@ def execute_phase_task(task: PhaseTask) -> PhaseStats:
     mapping = factory(space, config.geometry)
     return simulate_phase(config, mapping, task.op, task.policy,
                           use_arrays=task.use_arrays)
+
+
+@dataclass(frozen=True)
+class InterleaverTask:
+    """One full write+read interleaver simulation work item.
+
+    One worker runs both phases of a (configuration, mapping) cell and
+    returns the complete :class:`~repro.dram.simulator
+    .InterleaverSimResult` — the unit the energy table and the
+    provisioning reports consume (the per-phase
+    :class:`~repro.dram.stats.EnergyTally` rides along on each
+    ``PhaseStats``, so energy accounting survives the process
+    boundary for free).
+
+    Attributes:
+        config_name: preset DRAM configuration name.
+        mapping: mapping registry key (e.g. ``"row-major"``).
+        n: triangular interleaver dimension.
+        policy: optional controller policy overrides (picklable).
+    """
+
+    config_name: str
+    mapping: str
+    n: int
+    policy: Optional[ControllerConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"interleaver dimension must be >= 1, got {self.n}")
+
+
+def execute_interleaver_task(task: InterleaverTask) -> InterleaverSimResult:
+    """Run one :class:`InterleaverTask` to completion (also the worker entry).
+
+    Raises:
+        KeyError: if ``task.config_name`` or ``task.mapping`` is not a
+            known registry key.
+    """
+    from repro.system.sweep import mapping_registry
+
+    registry = mapping_registry()
+    try:
+        factory = registry[task.mapping]
+    except KeyError:
+        known = ", ".join(sorted(registry))
+        raise KeyError(f"unknown mapping {task.mapping!r}; known: {known}") from None
+    config = get_config(task.config_name)
+    space = TriangularIndexSpace(task.n)
+    mapping = factory(space, config.geometry)
+    return simulate_interleaver(config, mapping, task.policy)
 
 
 @dataclass(frozen=True)
@@ -189,3 +244,12 @@ def run_mixed_tasks(
     """Execute steady-state mixed-traffic tasks; same contract as
     :func:`run_phase_tasks`."""
     return _run_tasks(execute_mixed_task, tasks, jobs)
+
+
+def run_interleaver_tasks(
+    tasks: Iterable[InterleaverTask],
+    jobs: Optional[int] = None,
+) -> List[InterleaverSimResult]:
+    """Execute full-frame interleaver tasks; same contract as
+    :func:`run_phase_tasks`."""
+    return _run_tasks(execute_interleaver_task, tasks, jobs)

@@ -17,15 +17,24 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dram.controller import OP_READ, OP_WRITE, ControllerConfig
+from repro.dram.energy import (
+    EnergyReport,
+    combine_interleaver_reports,
+    energy_from_tally,
+    phase_energy,
+)
 from repro.dram.presets import TABLE1_CONFIG_NAMES, DramConfig, get_config
 from repro.dram.simulator import InterleaverSimResult, simulate_interleaver
+from repro.dram.stats import PhaseStats
 from repro.interleaver.triangular import TriangularIndexSpace
 from repro.mapping.base import InterleaverMapping
 from repro.mapping.optimized import OptimizedMapping
 from repro.mapping.row_major import RowMajorMapping
 from repro.system.parallel import (
+    InterleaverTask,
     MixedTask,
     PhaseTask,
+    run_interleaver_tasks,
     run_mixed_tasks,
     run_phase_tasks,
 )
@@ -254,6 +263,122 @@ def format_mixed_table(rows: Sequence[MixedRow]) -> str:
             f"{row.utilization:10.2%} {row.turnarounds:12d}"
         )
     lines.append("(single device, interleaved write/read with turnaround penalties)")
+    return "\n".join(lines)
+
+
+def _phase_energy_report(config: DramConfig, stats: PhaseStats,
+                         op: str) -> EnergyReport:
+    """Per-phase energy, preferring the engine's zero-cost tallies."""
+    if stats.energy_tally is not None:
+        return energy_from_tally(config, stats.energy_tally)
+    return phase_energy(config, stats, op)
+
+
+@dataclass(frozen=True)
+class EnergyRow:
+    """Energy accounting of one (configuration, mapping) Table I cell.
+
+    Attributes:
+        config_name: DRAM configuration.
+        mapping_name: address mapping used for both phases.
+        result: the underlying simulation result (utilizations — what
+            the provisioning Pareto report pairs with the energy).
+        write_energy: write-phase energy breakdown.
+        read_energy: read-phase energy breakdown.
+        combined: whole-frame breakdown (payload counted once,
+            makespans added).
+    """
+
+    config_name: str
+    mapping_name: str
+    result: InterleaverSimResult
+    write_energy: EnergyReport
+    read_energy: EnergyReport
+    combined: EnergyReport
+
+    @property
+    def pj_per_bit(self) -> float:
+        """Frame energy per payload bit — the table's figure of merit."""
+        return self.combined.pj_per_bit
+
+    @property
+    def avg_power_mw(self) -> float:
+        """Average power over the whole frame (write + read makespans)."""
+        return self.combined.avg_power_mw
+
+
+def run_energy_table(
+    n: int = 256,
+    config_names: Sequence[str] = TABLE1_CONFIG_NAMES,
+    policy: Optional[ControllerConfig] = None,
+    jobs: Optional[int] = None,
+) -> List[EnergyRow]:
+    """Energy per interleaver frame, both mappings x every configuration.
+
+    The energy analogue of :func:`run_table1`: each (configuration,
+    mapping) cell runs both phases through the scheduling engine, whose
+    zero-cost :class:`~repro.dram.stats.EnergyTally` counters feed
+    :func:`~repro.dram.energy.energy_from_tally`.  Cells fan out over
+    :func:`~repro.system.parallel.run_interleaver_tasks`; results are
+    bit-identical for any ``jobs`` value.
+
+    Args:
+        n: triangular interleaver dimension.
+        config_names: subset of Table I configurations.
+        policy: controller policy overrides applied to every cell.
+        jobs: worker processes (``None``/``1`` serial, ``0`` = all cores).
+    """
+    mapping_names = ("row-major", "optimized")
+    tasks = [
+        InterleaverTask(config_name=config_name, mapping=mapping_name, n=n,
+                        policy=policy)
+        for config_name in config_names
+        for mapping_name in mapping_names
+    ]
+    results = run_interleaver_tasks(tasks, jobs=jobs)
+    rows = []
+    for task, result in zip(tasks, results):
+        config = get_config(task.config_name)
+        write_energy = _phase_energy_report(config, result.write, OP_WRITE)
+        read_energy = _phase_energy_report(config, result.read, OP_READ)
+        rows.append(
+            EnergyRow(
+                config_name=task.config_name,
+                mapping_name=task.mapping,
+                result=result,
+                write_energy=write_energy,
+                read_energy=read_energy,
+                combined=combine_interleaver_reports(write_energy, read_energy),
+            )
+        )
+    return rows
+
+
+def format_energy_table(rows: Sequence[EnergyRow]) -> str:
+    """Render energy rows as a per-frame breakdown table.
+
+    One line per (configuration, mapping) cell: the four energy
+    components in microjoules, the frame total, the energy per payload
+    bit (each byte written once and read once counts as one bit of
+    payload) and the average power over the frame.
+    """
+    lines = [
+        f"{'DRAM':14s} {'mapping':10s} {'E_act uJ':>9s} {'E_burst uJ':>10s} "
+        f"{'E_ref uJ':>9s} {'E_bg uJ':>9s} {'total uJ':>9s} "
+        f"{'pJ/bit':>7s} {'avg mW':>8s}",
+    ]
+    for row in rows:
+        combined = row.combined
+        lines.append(
+            f"{row.config_name:14s} {row.mapping_name:10s} "
+            f"{combined.activation_nj / 1000.0:9.3f} "
+            f"{combined.burst_nj / 1000.0:10.3f} "
+            f"{combined.refresh_nj / 1000.0:9.3f} "
+            f"{combined.background_nj / 1000.0:9.3f} "
+            f"{combined.total_nj / 1000.0:9.3f} "
+            f"{row.pj_per_bit:7.2f} {row.avg_power_mw:8.1f}"
+        )
+    lines.append("(per interleaver frame: write + read phase, payload counted once)")
     return "\n".join(lines)
 
 

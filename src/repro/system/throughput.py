@@ -11,14 +11,25 @@ collapses on fast devices, a system architect has to *over-provision*
 the DRAM — pick a faster speed grade or a wider bus — to reach a target
 line rate; the optimized mapping removes that tax.  These helpers
 quantify exactly that argument.
+
+Over-provisioning has an *energy* face too (paper Sec. I: "higher
+costs and additional energy consumption"): every extra channel bought
+to compensate a collapsed phase burns background and per-access power.
+:func:`energy_pareto` spans the (channels x grade x mapping) space and
+marks the bandwidth-vs-power Pareto frontier, pairing each
+:class:`ThroughputReport` with an
+:class:`~repro.dram.energy.EnergyReport` (see
+:mod:`repro.dram.energy` for the command-level model and
+:func:`repro.system.sweep.run_energy_table` for the per-cell table).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
+from repro.dram.energy import EnergyReport
 from repro.dram.presets import DramConfig
 from repro.dram.simulator import InterleaverSimResult
 from repro.units import gbit_per_s
@@ -124,3 +135,97 @@ def provision(
         choices,
         key=lambda c: (c.total_peak_gbit, c.channels, -c.report.sustained_gbit),
     )
+
+
+@dataclass(frozen=True)
+class EnergyProvisioningPoint:
+    """One (channels, grade, mapping) point of the bandwidth/energy space.
+
+    Attributes:
+        report: the single-channel throughput report this point scales.
+        channels: parallel channels provisioned.
+        pj_per_bit: frame energy per payload bit (channel-count
+            invariant — every channel moves its own share of payload).
+        channel_power_mw: average power of one channel over the frame.
+        on_frontier: whether the point is Pareto-optimal — no other
+            point in the same report delivers at least its bandwidth
+            for less power.
+    """
+
+    report: ThroughputReport
+    channels: int
+    pj_per_bit: float
+    channel_power_mw: float
+    on_frontier: bool = False
+
+    @property
+    def sustained_gbit(self) -> float:
+        """Total sustained line rate of the provisioned channels."""
+        return self.report.sustained_gbit * self.channels
+
+    @property
+    def power_mw(self) -> float:
+        """Total average power of the provisioned channels."""
+        return self.channel_power_mw * self.channels
+
+    @property
+    def total_peak_gbit(self) -> float:
+        """Raw bandwidth bought (the oversizing, as in provision())."""
+        return self.report.peak_bandwidth_gbit * self.channels
+
+
+def energy_pareto(
+    cells: Sequence[Tuple[ThroughputReport, EnergyReport]],
+    max_channels: int = 4,
+) -> List[EnergyProvisioningPoint]:
+    """Bandwidth-vs-energy Pareto over the provisioning space.
+
+    Spans channels x grade x mapping: every ``(report, energy)`` cell
+    — one :class:`ThroughputReport` paired with the frame
+    :class:`~repro.dram.energy.EnergyReport` of the same simulation —
+    is replicated at 1..``max_channels`` parallel channels (bandwidth
+    and power scale linearly; pJ/bit is invariant).  Points that no
+    alternative dominates (at least the same sustained bandwidth for
+    strictly less power) are flagged ``on_frontier`` — the
+    configurations a designer should actually consider; everything
+    else is the energy tax of over-provisioning the wrong grade or
+    mapping.
+
+    Returns:
+        All points sorted by (sustained bandwidth, power) ascending.
+
+    Raises:
+        ValueError: if ``max_channels`` is not positive.
+    """
+    if max_channels < 1:
+        raise ValueError(f"max_channels must be >= 1, got {max_channels}")
+    raw = []
+    for report, energy in cells:
+        if report.sustained_gbit <= 0:
+            continue
+        for channels in range(1, max_channels + 1):
+            raw.append((report, channels, energy.pj_per_bit,
+                        energy.avg_power_mw))
+    # Frontier sweep: descending bandwidth, ascending power — a point
+    # is optimal iff its power undercuts every point with >= bandwidth.
+    order = sorted(
+        range(len(raw)),
+        key=lambda i: (-raw[i][0].sustained_gbit * raw[i][1],
+                       raw[i][3] * raw[i][1]),
+    )
+    best_power = math.inf
+    frontier = set()
+    for i in order:
+        power = raw[i][3] * raw[i][1]
+        if power < best_power:
+            best_power = power
+            frontier.add(i)
+    points = [
+        EnergyProvisioningPoint(report=report, channels=channels,
+                                pj_per_bit=pj, channel_power_mw=power,
+                                on_frontier=i in frontier)
+        for i, (report, channels, pj, power) in enumerate(raw)
+    ]
+    return sorted(points, key=lambda p: (p.sustained_gbit, p.power_mw,
+                                         p.report.config_name,
+                                         p.report.mapping_name))

@@ -126,6 +126,39 @@ def render_campaign_gains(summaries, width: int = 30) -> str:
     return "\n".join(lines)
 
 
+def render_energy_pareto(points, width: int = 30) -> str:
+    """Bandwidth-vs-power provisioning chart (text).
+
+    One line per :class:`~repro.system.throughput
+    .EnergyProvisioningPoint`, ordered by sustained bandwidth: the bar
+    is the total average power on a linear scale (the resource being
+    spent), the columns give the line rate bought and its pJ/bit, and
+    ``*`` flags the Pareto frontier — the points where no alternative
+    (grade, mapping, channel count) delivers at least the same
+    bandwidth for less power.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    rows = list(points)
+    if not rows:
+        return "(no provisioning points)"
+    top = max(p.power_mw for p in rows)
+    lines = [f"  {'DRAM':14s} {'mapping':10s} {'ch':>3s} {'Gbit/s':>8s} "
+             f"{'power (linear scale)':{width}s} {'mW':>9s} {'pJ/bit':>7s}"]
+    for point in rows:
+        filled = round(point.power_mw / top * width) if top > 0 else 0
+        bar = "#" * filled + "-" * (width - filled)
+        mark = "*" if point.on_frontier else " "
+        lines.append(
+            f"{mark} {point.report.config_name:14s} "
+            f"{point.report.mapping_name:10s} {point.channels:3d} "
+            f"{point.sustained_gbit:8.1f} {bar} "
+            f"{point.power_mw:9.1f} {point.pj_per_bit:7.2f}"
+        )
+    lines.append("(* = Pareto frontier: no cheaper way to buy at least this bandwidth)")
+    return "\n".join(lines)
+
+
 def _log10(value: float) -> float:
     return math.log10(value) if value > 0 else 0.0
 

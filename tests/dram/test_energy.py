@@ -1,14 +1,17 @@
 """Command-level energy model."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.dram.energy import (
     EnergyParams,
+    combine_interleaver_reports,
     energy_params_for,
     interleaver_energy,
     phase_energy,
 )
-from repro.dram.presets import get_config
+from repro.dram.presets import TABLE1_CONFIG_NAMES, get_config
 from repro.dram.simulator import simulate_interleaver
 from repro.dram.stats import PhaseStats
 from repro.interleaver.triangular import TriangularIndexSpace
@@ -40,6 +43,29 @@ class TestParams:
         lp4 = energy_params_for(get_config("LPDDR4-4266"))
         assert lp4.e_rd_pj < ddr4.e_rd_pj
         assert lp4.p_background_mw < ddr4.p_background_mw
+
+    def test_every_table1_grade_has_its_own_preset(self):
+        """The two grades of each family resolve to distinct presets:
+        the faster grade pays less per access but more background."""
+        by_family = {}
+        for name in TABLE1_CONFIG_NAMES:
+            by_family.setdefault(get_config(name).family, []).append(name)
+        for slow_name, fast_name in by_family.values():
+            slow = energy_params_for(get_config(slow_name))
+            fast = energy_params_for(get_config(fast_name))
+            assert slow != fast
+            assert fast.e_rd_pj < slow.e_rd_pj
+            assert fast.p_background_mw > slow.p_background_mw
+
+    def test_unknown_grade_falls_back_to_family(self):
+        custom = replace(get_config("DDR4-3200"), name="DDR4-9999")
+        params = energy_params_for(custom)
+        assert params == energy_params_for(replace(custom, name="DDR4-0000"))
+        assert params != energy_params_for(get_config("DDR4-3200"))
+
+    def test_rejects_negative_all_bank_refresh(self):
+        with pytest.raises(ValueError):
+            EnergyParams(1, 1, 1, 1, 1, e_ref_ab_pj=-1)
 
 
 class TestPhaseEnergy:
@@ -87,6 +113,13 @@ class TestPhaseEnergy:
         report = phase_energy(config, _stats(activates=10), "RD", params)
         assert report.total_nj == pytest.approx(10.0)
 
+    def test_avg_power_over_makespan(self):
+        config = get_config("DDR4-3200")
+        report = phase_energy(config, _stats(makespan_ps=10**6), "RD")
+        # nJ over ps: total_nj / makespan_ps * 1e6 mW.
+        assert report.avg_power_mw == pytest.approx(report.total_nj)
+        assert phase_energy(config, PhaseStats(), "RD").avg_power_mw == 0.0
+
 
 class TestMappingComparison:
     """The energy argument: row thrashing costs activation energy."""
@@ -115,3 +148,16 @@ class TestMappingComparison:
         space = TriangularIndexSpace(256)
         config = get_config("LPDDR4-4266")
         assert report.payload_bytes == space.num_elements * config.geometry.burst_bytes
+
+
+class TestCombineReports:
+    def test_components_add_and_payload_counted_once(self):
+        config = get_config("DDR4-3200")
+        write = phase_energy(config, _stats(makespan_ps=10**6), "WR")
+        read = phase_energy(config, _stats(makespan_ps=3 * 10**6), "RD")
+        combined = combine_interleaver_reports(write, read)
+        assert combined.total_nj == pytest.approx(write.total_nj + read.total_nj)
+        assert combined.payload_bytes == write.payload_bytes
+        assert combined.makespan_ps == write.makespan_ps + read.makespan_ps
+        assert combined == interleaver_energy(
+            config, _stats(makespan_ps=10**6), _stats(makespan_ps=3 * 10**6))

@@ -1,0 +1,41 @@
+"""Golden-file pin of the energy-table output.
+
+``format_energy_table(run_energy_table(n=64))`` is pinned
+byte-for-byte, like the Table I pin in ``test_table1_golden.py``.  The
+simulation and the count-based energy arithmetic are deterministic, so
+any diff means a scheduler, energy-preset or formatting change moved
+the artifact — which must always be a conscious decision (regenerate
+with ``python -c "from repro.system.sweep import *;
+print(format_energy_table(run_energy_table(n=64)))"`` and update the
+golden file in the same commit).
+
+n=64 is far below the paper's operating point; the values are not the
+paper's numbers, only a drift detector that runs in a few seconds.
+"""
+
+import os
+
+from repro.system.sweep import format_energy_table, run_energy_table
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "golden",
+                           "energy_table_n64.txt")
+
+
+def test_energy_table_n64_matches_golden():
+    with open(GOLDEN_PATH) as stream:
+        expected = stream.read()
+    actual = format_energy_table(run_energy_table(n=64)) + "\n"
+    assert actual == expected, (
+        "Energy table output drifted from tests/golden/energy_table_n64.txt "
+        "— if the change is intentional, regenerate the golden file."
+    )
+
+
+def test_golden_file_shape():
+    """The pinned artifact stays a full both-mappings, ten-config table."""
+    with open(GOLDEN_PATH) as stream:
+        lines = stream.read().splitlines()
+    assert len(lines) == 22  # header + 10 configs x 2 mappings + legend
+    assert lines[0].startswith("DRAM")
+    assert "pJ/bit" in lines[0]
+    assert lines[-1].startswith("(per interleaver frame")

@@ -5,9 +5,12 @@ import pytest
 from repro.dram.presets import get_config
 from repro.dram.stats import PhaseStats
 from repro.dram.simulator import InterleaverSimResult
+from repro.dram.energy import EnergyReport
 from repro.system.throughput import (
+    EnergyProvisioningPoint,
     ProvisioningChoice,
     ThroughputReport,
+    energy_pareto,
     provision,
     required_channels,
     throughput_report,
@@ -177,3 +180,80 @@ class TestProvisionEdgeCases:
         choices = provision([slow, fast], target_gbit=30.0)
         assert choices[0].report.config_name == "fast"
         assert choices[0].total_peak_gbit == choices[1].total_peak_gbit
+
+
+def _pareto_report(name, mapping, sustained):
+    return ThroughputReport(config_name=name, mapping_name=mapping,
+                            min_utilization=0.5,
+                            peak_bandwidth_gbit=2 * sustained,
+                            sustained_gbit=sustained)
+
+
+def _pareto_energy(power_mw, pj_per_bit=10.0):
+    """A report whose avg_power_mw property equals ``power_mw``.
+
+    total_nj / makespan_ps * 1e6 = power_mw when makespan is 1e6 ps and
+    the only component equals ``power_mw`` nJ; payload scales pJ/bit.
+    """
+    payload_bits = power_mw * 1000.0 / pj_per_bit
+    return EnergyReport(activation_nj=power_mw, burst_nj=0.0, refresh_nj=0.0,
+                        background_nj=0.0,
+                        payload_bytes=max(1, round(payload_bits / 8)),
+                        makespan_ps=10**6)
+
+
+class TestEnergyPareto:
+    def test_spans_channel_counts(self):
+        points = energy_pareto(
+            [(_pareto_report("a", "optimized", 10.0), _pareto_energy(100.0))],
+            max_channels=3)
+        assert [p.channels for p in points] == [1, 2, 3]
+        assert [p.sustained_gbit for p in points] == pytest.approx([10.0, 20.0, 30.0])
+        assert [p.power_mw for p in points] == pytest.approx([100.0, 200.0, 300.0])
+        # A single cell dominates nothing of itself: all on the frontier.
+        assert all(p.on_frontier for p in points)
+
+    def test_dominated_points_off_frontier(self):
+        """A grade delivering less bandwidth for more power never makes
+        the frontier."""
+        cheap = (_pareto_report("cheap", "optimized", 20.0), _pareto_energy(50.0))
+        waste = (_pareto_report("waste", "row-major", 10.0), _pareto_energy(80.0))
+        points = energy_pareto([cheap, waste], max_channels=2)
+        by_cell = {(p.report.config_name, p.channels): p for p in points}
+        assert by_cell[("cheap", 1)].on_frontier
+        assert by_cell[("cheap", 2)].on_frontier
+        # waste x1 (10 Gbit/s @ 80 mW) is beaten by cheap x1 (20 @ 50).
+        assert not by_cell[("waste", 1)].on_frontier
+        assert not by_cell[("waste", 2)].on_frontier
+
+    def test_sorted_by_bandwidth_then_power(self):
+        points = energy_pareto(
+            [(_pareto_report("a", "optimized", 10.0), _pareto_energy(100.0)),
+             (_pareto_report("b", "row-major", 15.0), _pareto_energy(60.0))],
+            max_channels=2)
+        ranks = [(p.sustained_gbit, p.power_mw) for p in points]
+        assert ranks == sorted(ranks)
+
+    def test_zero_sustained_cells_skipped(self):
+        points = energy_pareto(
+            [(_pareto_report("dead", "row-major", 0.0), _pareto_energy(10.0))])
+        assert points == []
+
+    def test_pj_per_bit_channel_invariant(self):
+        points = energy_pareto(
+            [(_pareto_report("a", "optimized", 10.0),
+              _pareto_energy(100.0, pj_per_bit=12.5))],
+            max_channels=4)
+        for point in points:
+            assert point.pj_per_bit == pytest.approx(12.5)
+
+    def test_rejects_bad_max_channels(self):
+        with pytest.raises(ValueError):
+            energy_pareto([], max_channels=0)
+
+    def test_total_peak_scales_with_channels(self):
+        [one, two] = energy_pareto(
+            [(_pareto_report("a", "optimized", 10.0), _pareto_energy(5.0))],
+            max_channels=2)
+        assert two.total_peak_gbit == pytest.approx(2 * one.total_peak_gbit)
+        assert isinstance(one, EnergyProvisioningPoint)

@@ -14,8 +14,9 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("table1", "mixed", "ablation", "fig1", "downlink",
-                        "campaign", "provision", "trace", "configs"):
+        for command in ("table1", "mixed", "ablation", "energy", "fig1",
+                        "downlink", "campaign", "provision", "trace",
+                        "configs"):
             assert command in text
 
 
@@ -142,6 +143,55 @@ class TestAblation:
         assert main(["ablation", "--n", "32", "--configs", "DDR4-3200",
                      "--variants", "full", "--jobs", "2"]) == 0
         capsys.readouterr()
+
+
+class TestEnergy:
+    def test_runs_table_and_pareto(self, capsys):
+        assert main(["energy", "--n", "32", "--configs", "DDR3-800"]) == 0
+        out = capsys.readouterr().out
+        assert "DDR3-800" in out
+        assert "pJ/bit" in out
+        assert "row-major" in out and "optimized" in out
+        assert "Pareto frontier" in out  # chart follows the table
+
+    def test_no_pareto_flag(self, capsys):
+        assert main(["energy", "--n", "32", "--configs", "DDR3-800",
+                     "--no-pareto"]) == 0
+        assert "Pareto frontier" not in capsys.readouterr().out
+
+    def test_unknown_config_fails(self, capsys):
+        assert main(["energy", "--configs", "DDR9-1"]) == 2
+        assert "unknown configurations" in capsys.readouterr().err
+
+    def test_rejects_bad_max_channels(self, capsys):
+        assert main(["energy", "--n", "32", "--max-channels", "0"]) == 2
+        assert "--max-channels" in capsys.readouterr().err
+
+    def test_no_refresh_flag(self, capsys):
+        # LPDDR4's per-bank interval is short enough that refresh fires
+        # even at n=32, so the flag observably changes the output.
+        args = ["energy", "--n", "32", "--configs", "LPDDR4-2133",
+                "--no-pareto"]
+        assert main(args) == 0
+        with_refresh = capsys.readouterr().out
+        assert main(args + ["--no-refresh"]) == 0
+        without_refresh = capsys.readouterr().out
+        assert with_refresh != without_refresh
+        for line in without_refresh.splitlines()[1:-1]:
+            assert line.split()[4] == "0.000"  # E_ref column collapses
+        assert any(line.split()[4] != "0.000"
+                   for line in with_refresh.splitlines()[1:-1])
+
+    def test_jobs_determinism_bit_identical(self, capsys):
+        """The full energy output (table + Pareto chart) must not depend
+        on how the grid was fanned out."""
+        args = ["energy", "--n", "32", "--configs", "DDR3-800", "LPDDR4-2133",
+                "--max-channels", "2"]
+        assert main(args + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
 
 
 class TestFig1:

@@ -13,6 +13,7 @@ from repro.viz import (
     render_banks,
     render_campaign_gains,
     render_columns,
+    render_energy_pareto,
     render_figure1,
     render_full,
     render_grid,
@@ -132,6 +133,43 @@ class TestCampaignGains:
     def test_rejects_bad_width(self):
         with pytest.raises(ValueError):
             render_campaign_gains([_summary(40.0, 1, 1)], width=0)
+
+
+def _pareto_point(name, mapping, channels, sustained, power, frontier):
+    from repro.dram.energy import EnergyReport
+    from repro.system.throughput import EnergyProvisioningPoint, ThroughputReport
+
+    report = ThroughputReport(config_name=name, mapping_name=mapping,
+                              min_utilization=0.5,
+                              peak_bandwidth_gbit=2 * sustained,
+                              sustained_gbit=sustained)
+    return EnergyProvisioningPoint(report=report, channels=channels,
+                                   pj_per_bit=10.0, channel_power_mw=power,
+                                   on_frontier=frontier)
+
+
+class TestEnergyPareto:
+    def test_marks_frontier_and_scales_bars(self):
+        points = [
+            _pareto_point("DDR3-800", "row-major", 1, 20.0, 500.0, False),
+            _pareto_point("LPDDR4-2133", "optimized", 2, 25.0, 125.0, True),
+        ]
+        text = render_energy_pareto(points, width=10)
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + 2 rows + legend
+        assert lines[1].startswith("  DDR3-800")     # dominated: unmarked
+        assert lines[2].startswith("* LPDDR4-2133")  # frontier: starred
+        assert "#" * 10 in lines[1]                  # max power: full bar
+        assert lines[2].count("#") == 5              # half the power
+        assert "Pareto frontier" in lines[-1]
+
+    def test_empty_points(self):
+        assert "no provisioning points" in render_energy_pareto([])
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            render_energy_pareto([_pareto_point("a", "b", 1, 1.0, 1.0, True)],
+                                 width=0)
 
 
 class TestHelpers:
