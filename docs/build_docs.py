@@ -1,0 +1,572 @@
+#!/usr/bin/env python
+"""Generate the static documentation site for this repository.
+
+The container and CI images carry no Sphinx/MkDocs, so the site is
+built from what the repo's own dependency set already provides:
+
+* **API reference** — ``inspect``/``pkgutil`` walk every ``repro``
+  module and render each public module, class, function, method and
+  property with its signature and docstring.  Sphinx-style roles inside
+  docstrings (``:class:`~repro.dram.stats.PhaseStats```,
+  ``:func:`...```, ``:mod:`...```) are resolved against the generated
+  pages and turned into hyperlinks — an unresolvable role is a build
+  warning.
+* **Hand-written pages** — reStructuredText sources under
+  ``docs/source/`` are rendered with docutils in strict mode (any
+  docutils warning is a build warning).
+* **Link check** — every internal ``href`` of the generated site and
+  every relative link of the repository ``README.md`` must resolve, or
+  the build warns.
+
+The build is **warnings-as-errors**: any warning makes the process exit
+non-zero, which is what the CI ``docs`` job (and
+``tests/test_docs.py``) asserts.  Build locally with::
+
+    PYTHONPATH=src python docs/build_docs.py --out docs/_build
+
+and open ``docs/_build/index.html``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import builtins
+import html
+import importlib
+import inspect
+import io
+import pkgutil
+import re
+import sys
+import typing
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+SOURCE_DIR = Path(__file__).resolve().parent / "source"
+TEMPLATE_DIR = Path(__file__).resolve().parent / "templates"
+
+#: Modules that must not be imported during discovery (``__main__``
+#: parses ``sys.argv`` at import time).
+SKIP_MODULES = ("repro.__main__",)
+
+#: The hand-written reST pages, in navigation order.
+PAGES = (
+    ("index", "Overview"),
+    ("architecture", "Architecture"),
+    ("reproduction", "Reproduction guide"),
+)
+
+ROLE_RE = re.compile(
+    r":(mod|class|func|meth|attr|data|exc|obj):`([^`]+)`")
+LITERAL_RE = re.compile(r"``([^`]+)``")
+HREF_RE = re.compile(r'href="([^"]+)"')
+ANCHOR_RE = re.compile(r'id="([^"]+)"')
+MD_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Top-level names whose roles refer to external libraries or the
+#: standard library: rendered as plain code, never a warning.
+EXTERNAL_PREFIXES = ("numpy", "np", "concurrent", "json", "csv", "os",
+                     "math", "pickle", "multiprocessing")
+
+
+@dataclass
+class MemberDoc:
+    """One documented class member (method, property, classmethod)."""
+
+    name: str
+    kind: str  # "method" | "property" | "classmethod" | "staticmethod"
+    signature: str
+    doc: Optional[str]
+
+
+@dataclass
+class ClassDoc:
+    """One documented public class."""
+
+    name: str
+    bases: str
+    signature: str
+    doc: Optional[str]
+    members: List[MemberDoc] = field(default_factory=list)
+
+
+@dataclass
+class FunctionDoc:
+    """One documented public module-level function."""
+
+    name: str
+    signature: str
+    doc: Optional[str]
+
+
+@dataclass
+class DataDoc:
+    """One public module-level data attribute (constant, alias)."""
+
+    name: str
+    value: str
+    oid: int = 0  # id() of the live object, for re-export aliasing
+
+
+@dataclass
+class ModuleDoc:
+    """One documented module of the package."""
+
+    name: str
+    doc: Optional[str]
+    classes: List[ClassDoc] = field(default_factory=list)
+    functions: List[FunctionDoc] = field(default_factory=list)
+    data: List[DataDoc] = field(default_factory=list)
+    #: Public data names *imported* from another module: indexed as
+    #: aliases of the defining page, never rendered here.
+    data_aliases: List[Tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def package(self) -> str:
+        """Top-level package the module belongs to (grouping key)."""
+        parts = self.name.split(".")
+        return ".".join(parts[:2]) if len(parts) > 1 else parts[0]
+
+
+def discover_modules() -> List[str]:
+    """Import and list every ``repro`` module (except ``__main__``)."""
+    import repro
+
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name not in SKIP_MODULES:
+            names.append(info.name)
+    return sorted(names)
+
+
+def _signature_of(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def _member_docs(cls) -> List[MemberDoc]:
+    members = []
+    for name, raw in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        if isinstance(raw, property):
+            doc = raw.fget.__doc__ if raw.fget else None
+            members.append(MemberDoc(name=name, kind="property",
+                                     signature="", doc=doc))
+        elif isinstance(raw, (classmethod, staticmethod)):
+            func = raw.__func__
+            kind = "classmethod" if isinstance(raw, classmethod) else "staticmethod"
+            members.append(MemberDoc(name=name, kind=kind,
+                                     signature=_signature_of(func),
+                                     doc=func.__doc__))
+        elif inspect.isfunction(raw):
+            members.append(MemberDoc(name=name, kind="method",
+                                     signature=_signature_of(raw),
+                                     doc=raw.__doc__))
+    return members
+
+
+def _toplevel_assignments(module) -> set:
+    """Names assigned at a module's top level (its *defined* data).
+
+    Classes and functions carry ``__module__``, but constants do not —
+    the module source is the only reliable attribution, so data is
+    rendered on the page of the module whose AST assigns it and merely
+    alias-indexed everywhere it is imported.
+    """
+    try:
+        tree = ast.parse(inspect.getsource(module))
+    except (OSError, TypeError, SyntaxError):
+        return set()
+    names = set()
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            for leaf in ast.walk(target):
+                if isinstance(leaf, ast.Name):
+                    names.add(leaf.id)
+    return names
+
+
+def build_api_model(module_names: List[str]) -> List[ModuleDoc]:
+    """Introspect every module into a renderable document model."""
+    typing_objects = {id(value) for value in vars(typing).values()}
+    model = []
+    for name in module_names:
+        module = importlib.import_module(name)
+        defined = _toplevel_assignments(module)
+        doc = ModuleDoc(name=name, doc=module.__doc__)
+        for obj_name, obj in vars(module).items():
+            if obj_name.startswith("_"):
+                continue
+            if inspect.ismodule(obj) or id(obj) in typing_objects:
+                continue
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if getattr(obj, "__module__", None) != name:
+                    continue  # re-export: documented where it is defined
+                if inspect.isclass(obj):
+                    bases = ", ".join(
+                        base.__name__ for base in obj.__bases__
+                        if base is not object)
+                    doc.classes.append(
+                        ClassDoc(name=obj_name, bases=bases,
+                                 signature=_signature_of(obj),
+                                 doc=obj.__doc__,
+                                 members=_member_docs(obj)))
+                else:
+                    doc.functions.append(
+                        FunctionDoc(name=obj_name,
+                                    signature=_signature_of(obj),
+                                    doc=obj.__doc__))
+            else:
+                # Constants, presets and type aliases: :data: role
+                # targets.  Their value repr doubles as documentation.
+                # Rendered only where the module source assigns them;
+                # imports of another module's constant become index
+                # aliases so roles naming either module still resolve.
+                if obj_name not in defined:
+                    doc.data_aliases.append((obj_name, id(obj)))
+                    continue
+                value = repr(obj)
+                if len(value) > 160:
+                    value = value[:157] + "..."
+                doc.data.append(DataDoc(name=obj_name, value=value,
+                                        oid=id(obj)))
+        model.append(doc)
+    return model
+
+
+def build_anchor_index(model: List[ModuleDoc]) -> Dict[str, Tuple[str, str]]:
+    """Map every documented dotted name to its ``(page, anchor)``."""
+    index: Dict[str, Tuple[str, str]] = {}
+    for module in model:
+        page = f"api/{module.name}.html"
+        index[module.name] = (page, "")
+        for cls in module.classes:
+            index[f"{module.name}.{cls.name}"] = (page, cls.name)
+            for member in cls.members:
+                index[f"{module.name}.{cls.name}.{member.name}"] = (
+                    page, f"{cls.name}.{member.name}")
+        for function in module.functions:
+            index[f"{module.name}.{function.name}"] = (page, function.name)
+        for data in module.data:
+            index[f"{module.name}.{data.name}"] = (page, data.name)
+    # Re-exported constants resolve to the page that defines them.
+    by_oid = {data.oid: index[f"{module.name}.{data.name}"]
+              for module in model for data in module.data}
+    for module in model:
+        for alias_name, oid in module.data_aliases:
+            if oid in by_oid:
+                index.setdefault(f"{module.name}.{alias_name}", by_oid[oid])
+    return index
+
+
+class Builder:
+    """Renders the site and accumulates build warnings."""
+
+    def __init__(self, out_dir: Path):
+        self.out = out_dir
+        self.warnings: List[str] = []
+
+    def warn(self, message: str) -> None:
+        """Record one build warning (any warning fails the build)."""
+        self.warnings.append(message)
+
+    # -- docstring rendering -------------------------------------------
+
+    def resolve_role(self, target: str, owners: Tuple[str, ...],
+                     index: Dict[str, Tuple[str, str]],
+                     context: str) -> Optional[Tuple[str, str]]:
+        """Resolve a role target to ``(page, anchor)``, else warn.
+
+        Targets may be written relative to the defining module or class
+        (Sphinx semantics), so resolution tries the literal name, every
+        owner-qualified name, and finally a unique dotted-suffix match.
+        Builtins and external-library names resolve to plain text.
+        """
+        candidates = (target,) + tuple(f"{owner}.{target}"
+                                       for owner in owners)
+        for candidate in candidates:
+            if candidate in index:
+                return index[candidate]
+        if target in vars(builtins) or \
+                target.split(".")[0] in EXTERNAL_PREFIXES:
+            return None  # plain text, not a warning
+        suffix = "." + target
+        matches = [key for key in index if key.endswith(suffix)]
+        if len(matches) == 1:
+            return index[matches[0]]
+        self.warn(f"{context}: unresolvable cross-reference {target!r}")
+        return None
+
+    def render_docstring(self, text: Optional[str], owners: Tuple[str, ...],
+                         index: Dict[str, Tuple[str, str]], context: str,
+                         depth: int, required: bool = True) -> str:
+        """Render one docstring to HTML with linkified cross-references.
+
+        Args:
+            text: the raw docstring (``None`` warns when ``required``).
+            owners: dotted scopes the docstring was defined in, from the
+                innermost (e.g. ``("repro.dram.engine.SchedulingEngine",
+                "repro.dram.engine")``); role targets resolve relative
+                to them.
+            index: anchor index of the generated API pages.
+            context: human-readable location for warning messages.
+            depth: directory depth of the page being rendered (0 = site
+                root), used to relativize links.
+            required: whether a missing docstring is a build warning.
+        """
+        if not text:
+            if required:
+                self.warn(f"{context}: missing docstring")
+            return ""
+        prefix = "../" * depth
+        escaped = html.escape(inspect.cleandoc(text))
+
+        def replace_role(match: re.Match) -> str:
+            target = re.sub(r"\s+", "", match.group(2))
+            display = target.lstrip("~").split(".")[-1] if target.startswith("~") \
+                else target.lstrip("~")
+            resolved = self.resolve_role(target.lstrip("~"), owners, index,
+                                         context)
+            if resolved is None:
+                return f"<code>{display}</code>"
+            page, anchor = resolved
+            link = prefix + page + (f"#{anchor}" if anchor else "")
+            return f'<a href="{link}"><code>{display}</code></a>'
+
+        escaped = ROLE_RE.sub(replace_role, escaped)
+        escaped = LITERAL_RE.sub(r"<code>\1</code>", escaped)
+        return f'<pre class="docstring">{escaped}</pre>'
+
+    # -- page templating ------------------------------------------------
+
+    def render_page(self, template, *, title: str, content: str,
+                    depth: int, active: str) -> str:
+        """Instantiate the shared page template."""
+        prefix = "../" * depth
+        nav = [(label, prefix + f"{name}.html", name == active)
+               for name, label in PAGES]
+        nav.append(("API reference", prefix + "api/index.html",
+                    active == "api"))
+        return template.render(title=title, content=content, nav=nav)
+
+    def write(self, relative: str, text: str) -> None:
+        """Write one generated page below the output directory."""
+        path = self.out / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+
+    # -- API pages -------------------------------------------------------
+
+    def render_module_page(self, module: ModuleDoc,
+                           index: Dict[str, Tuple[str, str]]) -> str:
+        """Render one module's API reference body."""
+        parts = [f"<h1><code>{module.name}</code></h1>"]
+        parts.append(self.render_docstring(
+            module.doc, (module.name,), index, f"module {module.name}", 1))
+        for cls in module.classes:
+            context = f"{module.name}.{cls.name}"
+            owners = (context, module.name)
+            heading = f"class {cls.name}"
+            if cls.bases:
+                heading += f"({cls.bases})"
+            parts.append(f'<h2 id="{cls.name}"><code>{html.escape(heading)}'
+                         f"</code></h2>")
+            parts.append(f'<p class="signature"><code>{cls.name}'
+                         f"{html.escape(cls.signature)}</code></p>")
+            parts.append(self.render_docstring(cls.doc, owners, index,
+                                               f"class {context}", 1))
+            for member in cls.members:
+                anchor = f"{cls.name}.{member.name}"
+                label = member.name + (member.signature if member.kind != "property"
+                                       else "")
+                parts.append(
+                    f'<h3 id="{anchor}"><code>{html.escape(label)}</code>'
+                    f' <span class="kind">{member.kind}</span></h3>')
+                parts.append(self.render_docstring(
+                    member.doc, owners, index,
+                    f"member {context}.{member.name}", 1))
+        for function in module.functions:
+            parts.append(
+                f'<h2 id="{function.name}"><code>{function.name}'
+                f"{html.escape(function.signature)}</code></h2>")
+            parts.append(self.render_docstring(
+                function.doc, (module.name,), index,
+                f"function {module.name}.{function.name}", 1))
+        if module.data:
+            parts.append("<h2>Module data</h2>")
+            for data in module.data:
+                parts.append(
+                    f'<h3 id="{data.name}"><code>{data.name}</code>'
+                    f' <span class="kind">data</span></h3>')
+                parts.append(f"<pre>{html.escape(data.value)}</pre>")
+        return "\n".join(parts)
+
+    def render_api_index(self, model: List[ModuleDoc]) -> str:
+        """Render the API landing page: modules grouped per package."""
+        groups: Dict[str, List[ModuleDoc]] = {}
+        for module in model:
+            groups.setdefault(module.package, []).append(module)
+        parts = ["<h1>API reference</h1>",
+                 "<p>Every public module of the <code>repro</code> package, "
+                 "grouped per sub-package. Cross-references inside docstrings "
+                 "are hyperlinks.</p>"]
+        for package in sorted(groups):
+            parts.append(f"<h2><code>{package}</code></h2>")
+            parts.append("<ul>")
+            for module in groups[package]:
+                first_line = ""
+                if module.doc:
+                    first_line = html.escape(
+                        inspect.cleandoc(module.doc).splitlines()[0])
+                parts.append(
+                    f'<li><a href="{module.name}.html">'
+                    f"<code>{module.name}</code></a> — {first_line}</li>")
+            parts.append("</ul>")
+        return "\n".join(parts)
+
+    # -- reST pages ------------------------------------------------------
+
+    def render_rst(self, path: Path) -> str:
+        """Render one reST source page with docutils, strictly."""
+        try:
+            from docutils import utils
+            from docutils.core import publish_parts
+        except ImportError:
+            self.warn(f"{path.name}: docutils unavailable, page skipped")
+            return f"<p>(docutils unavailable — {path.name} not rendered)</p>"
+        stream = io.StringIO()
+        try:
+            parts = publish_parts(
+                source=path.read_text(),
+                source_path=str(path),
+                writer_name="html",
+                settings_overrides={
+                    "report_level": 2,   # record warnings and up
+                    "halt_level": 2,     # ... and abort the page on them
+                    "warning_stream": stream,
+                    "embed_stylesheet": False,
+                },
+            )
+        except utils.SystemMessage as error:
+            self.warn(f"{path.name}: {error}")
+            return ""
+        reported = stream.getvalue().strip()
+        if reported:
+            self.warn(f"{path.name}: {reported}")
+        return parts["html_body"]
+
+    # -- link checking ---------------------------------------------------
+
+    def check_links(self) -> None:
+        """Verify every internal link of the generated site resolves.
+
+        Anchors are keyed by resolved path — link targets are
+        ``resolve()``d below, so the keys must be too or the anchor
+        check silently never fires under a relative ``--out``.
+        """
+        anchors: Dict[Path, set] = {}
+        pages = sorted(self.out.rglob("*.html"))
+        for page in pages:
+            anchors[page.resolve()] = set(ANCHOR_RE.findall(page.read_text()))
+        for page in pages:
+            text = page.read_text()
+            for href in HREF_RE.findall(text):
+                if href.startswith(("http://", "https://", "mailto:")):
+                    continue
+                target, _, fragment = href.partition("#")
+                target_path = (page.parent / target).resolve() if target \
+                    else page.resolve()
+                if target and not target_path.exists():
+                    self.warn(f"{page.relative_to(self.out)}: broken link "
+                              f"{href!r}")
+                    continue
+                if fragment and target_path in anchors and \
+                        fragment not in anchors[target_path]:
+                    self.warn(f"{page.relative_to(self.out)}: broken anchor "
+                              f"{href!r}")
+
+    def check_readme(self) -> None:
+        """Verify the repository README's relative links resolve."""
+        readme = REPO / "README.md"
+        for target in MD_LINK_RE.findall(readme.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.partition("#")[0]
+            if path and not (REPO / path).exists():
+                self.warn(f"README.md: broken link {target!r}")
+
+
+def build(out_dir: Path) -> List[str]:
+    """Build the whole site; returns the list of warnings."""
+    if str(SRC) not in sys.path:
+        sys.path.insert(0, str(SRC))
+    try:
+        from jinja2 import Environment, FileSystemLoader
+    except ImportError:
+        print("error: jinja2 is required to build the docs", file=sys.stderr)
+        return ["jinja2 unavailable"]
+
+    environment = Environment(loader=FileSystemLoader(str(TEMPLATE_DIR)),
+                              autoescape=False)
+    template = environment.get_template("page.html.j2")
+    builder = Builder(out_dir)
+
+    model = build_api_model(discover_modules())
+    index = build_anchor_index(model)
+
+    for module in model:
+        body = builder.render_module_page(module, index)
+        builder.write(f"api/{module.name}.html", builder.render_page(
+            template, title=module.name, content=body, depth=1, active="api"))
+    builder.write("api/index.html", builder.render_page(
+        template, title="API reference",
+        content=builder.render_api_index(model), depth=1, active="api"))
+
+    for name, label in PAGES:
+        source = SOURCE_DIR / f"{name}.rst"
+        if not source.exists():
+            builder.warn(f"missing page source {source.name}")
+            continue
+        builder.write(f"{name}.html", builder.render_page(
+            template, title=label, content=builder.render_rst(source),
+            depth=0, active=name))
+
+    builder.check_links()
+    builder.check_readme()
+    return builder.warnings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; exits non-zero when the build warned."""
+    parser = argparse.ArgumentParser(
+        description="Build the static documentation site "
+                    "(warnings are errors).")
+    parser.add_argument("--out", default=str(Path(__file__).parent / "_build"),
+                        metavar="DIR", help="output directory "
+                        "(default docs/_build)")
+    args = parser.parse_args(argv)
+    warnings = build(Path(args.out))
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if warnings:
+        print(f"docs build failed with {len(warnings)} warning(s)",
+              file=sys.stderr)
+        return 1
+    print(f"docs built into {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,9 +57,11 @@ from repro.mapping import (
 from repro.system import (
     OpticalDownlink,
     energy_pareto,
+    format_e2e_table,
     format_energy_table,
     format_table1,
     provision,
+    run_e2e_table,
     run_energy_table,
     run_table1,
     throughput_report,
@@ -93,11 +95,13 @@ __all__ = [
     "all_configs",
     "coherence_params",
     "energy_pareto",
+    "format_e2e_table",
     "format_energy_table",
     "format_table1",
     "get_config",
     "profile_mapping",
     "provision",
+    "run_e2e_table",
     "run_energy_table",
     "run_table1",
     "simulate_interleaver",

@@ -36,6 +36,7 @@ class BurstProfile:
 
     @property
     def symbol_error_rate(self) -> float:
+        """Fraction of observed symbols that were corrupted."""
         if self.total_symbols == 0:
             return 0.0
         return self.error_symbols / self.total_symbols
@@ -159,6 +160,7 @@ class FrameBurstArrays:
 
     @property
     def frames(self) -> int:
+        """Number of frames covered by the chunk."""
         return self.error_counts.size
 
     def profiles(self) -> List[BurstProfile]:

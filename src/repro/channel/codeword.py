@@ -65,12 +65,14 @@ class DecodingReport:
 
     @property
     def codeword_error_rate(self) -> float:
+        """Fraction of decoded code words that failed."""
         if self.codewords == 0:
             return 0.0
         return self.failed / self.codewords
 
     @property
     def frame_ok(self) -> bool:
+        """Whether every code word decoded (no failures at all)."""
         return self.failed == 0
 
 

@@ -9,11 +9,14 @@ Commands:
 * ``fig1``      — render the Fig. 1 mapping panels as text
 * ``downlink``  — run the optical-downlink reliability comparison
 * ``campaign``  — Monte Carlo downlink campaign over a fade/geometry grid
+* ``e2e``       — joint downlink -> DRAM co-simulation table (FER +
+  utilization + per-frame latency percentiles + energy per cell)
 * ``provision`` — size a DRAM system for a target line rate
 * ``trace``     — record a phase's command trace and replay-check it
 * ``configs``   — list the built-in device configurations
 
-Simulation grids (``table1``, ``mixed``, ``ablation``, ``energy``)
+Simulation grids (``table1``, ``mixed``, ``ablation``, ``energy``,
+``e2e``)
 accept ``--jobs N`` to fan the (config x mapping x phase) work items
 out over N worker processes (``--jobs 0`` = all cores); results are
 identical to a serial run.
@@ -50,9 +53,11 @@ from repro.system.campaign import (
 from repro.system.downlink import OpticalDownlink
 from repro.system.sweep import (
     ablation_factories,
+    format_e2e_table,
     format_energy_table,
     format_mixed_table,
     format_table1,
+    run_e2e_table,
     run_energy_table,
     run_mixed_table,
     run_table1,
@@ -60,7 +65,12 @@ from repro.system.sweep import (
 )
 from repro.system.throughput import energy_pareto, provision, throughput_report
 from repro.units import gbit_per_s
-from repro.viz import render_campaign_gains, render_energy_pareto, render_figure1
+from repro.viz import (
+    render_campaign_gains,
+    render_e2e_latency,
+    render_energy_pareto,
+    render_figure1,
+)
 
 
 def _add_jobs_argument(parser) -> None:
@@ -361,6 +371,71 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _add_e2e(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "e2e",
+        help="joint downlink -> DRAM co-simulation: FER, utilization, "
+             "per-frame latency percentiles and energy per cell")
+    parser.add_argument("--n", type=int, default=32,
+                        help="triangle dimension; the frame must hold whole "
+                             "code-word groups — 15, 32 and 48 qualify at "
+                             "the defaults (default 32)")
+    parser.add_argument("--frames", type=int, default=40,
+                        help="frames co-simulated per cell (default 40)")
+    parser.add_argument("--fade-symbols", type=float, default=60.0,
+                        help="mean fade length in symbols (default 60)")
+    parser.add_argument("--fade-fraction", type=float, default=0.004,
+                        help="long-run fade fraction (default 0.004)")
+    parser.add_argument("--p-bad", type=float, default=0.7,
+                        help="symbol error probability inside fades (default 0.7)")
+    parser.add_argument("--p-good", type=float, default=0.0,
+                        help="symbol error probability outside fades (default 0)")
+    parser.add_argument("--symbols-per-element", type=int, default=4)
+    parser.add_argument("--codeword-symbols", type=int, default=24)
+    parser.add_argument("--t-correctable", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--no-refresh", action="store_true",
+                        help="disable refresh (the paper's >99%% experiment)")
+    parser.add_argument("--configs", nargs="*", metavar="NAME",
+                        help="subset of configurations (default: all ten)")
+    parser.add_argument("--no-chart", action="store_true",
+                        help="skip the latency-percentile chart")
+    _add_jobs_argument(parser)
+    parser.set_defaults(func=_cmd_e2e)
+
+
+def _cmd_e2e(args) -> int:
+    names = tuple(args.configs) if args.configs else TABLE1_CONFIG_NAMES
+    unknown = set(names) - set(TABLE1_CONFIG_NAMES)
+    if unknown:
+        print(f"error: unknown configurations {sorted(unknown)}", file=sys.stderr)
+        return 2
+    if args.frames < 1:
+        print("error: --frames must be >= 1", file=sys.stderr)
+        return 2
+    policy = ControllerConfig(refresh_enabled=not args.no_refresh)
+    try:
+        channel = coherence_params(args.fade_symbols, args.fade_fraction,
+                                   p_bad=args.p_bad, p_good=args.p_good)
+        rows = run_e2e_table(
+            n=args.n, config_names=names, frames=args.frames, channel=channel,
+            symbols_per_element=args.symbols_per_element,
+            codeword_symbols=args.codeword_symbols,
+            t_correctable=args.t_correctable, seed=args.seed, policy=policy,
+            jobs=args.jobs)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    first = rows[0].result
+    print(f"e2e: {len(rows)} cells, {args.frames} frames each, "
+          f"{first.downlink.interleaved.codewords} code words per arm")
+    print(format_e2e_table(rows))
+    if not args.no_chart:
+        print()
+        print(render_e2e_latency(rows))
+    return 0
+
+
 def _add_provision(subparsers) -> None:
     parser = subparsers.add_parser(
         "provision", help="size a DRAM system for a target line rate")
@@ -514,6 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fig1(subparsers)
     _add_downlink(subparsers)
     _add_campaign(subparsers)
+    _add_e2e(subparsers)
     _add_provision(subparsers)
     _add_trace(subparsers)
     _add_configs(subparsers)

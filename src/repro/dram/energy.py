@@ -93,7 +93,7 @@ class EnergyParams:
 #: bytes moved.  Sources: vendor DDR3/DDR4 power calculators, LPDDR
 #: datasheet IDD figures, DRAMPower defaults; rounded.  Used as the
 #: fallback for custom configurations of a known family; the Table I
-#: presets in :data:`_CONFIG_PARAMS` take precedence by name.
+#: presets in ``_CONFIG_PARAMS`` take precedence by name.
 _FAMILY_PARAMS: Dict[str, EnergyParams] = {
     "DDR3": EnergyParams(e_act_pre_pj=3200.0, e_rd_pj=2100.0, e_wr_pj=2200.0,
                          e_ref_pj=45000.0, p_background_mw=350.0),
@@ -143,7 +143,7 @@ def energy_params_for(config: DramConfig) -> EnergyParams:
     """Energy parameters for a configuration.
 
     Table I configurations resolve to their per-grade preset in
-    :data:`_CONFIG_PARAMS`; custom configurations of a known family
+    ``_CONFIG_PARAMS``; custom configurations of a known family
     fall back to the family baseline.
 
     Raises:
@@ -191,6 +191,7 @@ class EnergyReport:
 
     @property
     def total_nj(self) -> float:
+        """Whole-phase energy: all four components summed."""
         return self.activation_nj + self.burst_nj + self.refresh_nj + self.background_nj
 
     @property

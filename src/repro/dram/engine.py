@@ -120,6 +120,7 @@ class TupleSource(WorkloadSource):
         self._requests = requests
 
     def batches(self) -> Iterator[Batch]:
+        """Buffer the tuple stream into fixed-size columnar batches."""
         source = iter(self._requests)
         while True:
             part = list(islice(source, _STREAM_BATCH))
@@ -141,6 +142,7 @@ class ChunkSource(WorkloadSource):
         self._chunks = chunks
 
     def batches(self) -> Iterator[Batch]:
+        """Pass every columnar chunk through untouched (no direction)."""
         for banks, rows, cols in self._chunks:
             yield banks, rows, cols, None
 
@@ -154,6 +156,7 @@ class MixedSource(WorkloadSource):
         self._requests = requests
 
     def batches(self) -> Iterator[Batch]:
+        """Buffer the mixed stream, splitting off the direction column."""
         source = iter(self._requests)
         while True:
             part = list(islice(source, _STREAM_BATCH))
@@ -182,6 +185,7 @@ class TraceReplaySource(WorkloadSource):
         self._commands = commands
 
     def batches(self) -> Iterator[Batch]:
+        """Present the trace's RD/WR commands, issue-ordered, as requests."""
         cas = sorted((c for c in self._commands if c.command in CAS_COMMANDS),
                      key=lambda c: c.time_ps)
         for start in range(0, len(cas), _STREAM_BATCH):

@@ -87,14 +87,17 @@ class Geometry:
 
     @property
     def bank_bits(self) -> int:
+        """Address bits selecting one of the flat banks."""
         return log2_int(self.banks)
 
     @property
     def bank_group_bits(self) -> int:
+        """Address bits selecting a bank group."""
         return log2_int(self.bank_groups)
 
     @property
     def row_bits(self) -> int:
+        """Address bits selecting a row within a bank."""
         return log2_int(self.rows)
 
     @property

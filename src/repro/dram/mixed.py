@@ -63,6 +63,7 @@ class MixedResult:
 
     @property
     def utilization(self) -> float:
+        """Data-bus utilization of the whole mixed run."""
         return self.stats.utilization
 
 
@@ -112,10 +113,12 @@ class RowShiftedMapping(InterleaverMapping):
             )
 
     def address_tuple(self, i: int, j: int):
+        """The inner mapping's address, shifted ``row_offset`` rows up."""
         bank, row, column = self.inner.address_tuple(i, j)
         return bank, row + self.row_offset, column
 
     def rows_used(self) -> int:
+        """Rows of the *unshifted* frame (the shift is capacity-checked)."""
         return self.inner.rows_used()
 
 

@@ -75,6 +75,7 @@ class DramConfig:
 
     @property
     def has_bank_groups(self) -> bool:
+        """Whether the device discriminates tCCD/tRRD by bank group."""
         return self.geometry.bank_groups > 1
 
 

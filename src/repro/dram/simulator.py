@@ -40,10 +40,12 @@ class InterleaverSimResult:
 
     @property
     def write_utilization(self) -> float:
+        """Data-bus utilization of the write phase."""
         return self.write.utilization
 
     @property
     def read_utilization(self) -> float:
+        """Data-bus utilization of the read phase."""
         return self.read.utilization
 
     @property

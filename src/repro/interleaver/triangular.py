@@ -185,42 +185,51 @@ class RectangularIndexSpace:
 
     @property
     def num_elements(self) -> int:
+        """Total number of cells: height x width."""
         return self.height * self.width
 
     def row_length(self, i: int) -> int:
+        """Number of cells in row ``i`` (always ``width``)."""
         if not 0 <= i < self.height:
             raise ValueError(f"row {i} out of range [0, {self.height})")
         return self.width
 
     def col_length(self, j: int) -> int:
+        """Number of cells in column ``j`` (always ``height``)."""
         if not 0 <= j < self.width:
             raise ValueError(f"column {j} out of range [0, {self.width})")
         return self.height
 
     def contains(self, i: int, j: int) -> bool:
+        """Whether ``(i, j)`` is a valid cell."""
         return 0 <= i < self.height and 0 <= j < self.width
 
     def row_offset(self, i: int) -> int:
+        """Linear index of cell ``(i, 0)`` in row-major packing."""
         if not 0 <= i < self.height:
             raise ValueError(f"row {i} out of range [0, {self.height})")
         return i * self.width
 
     def linear_index(self, i: int, j: int) -> int:
+        """Row-major linear index of cell ``(i, j)``."""
         if not self.contains(i, j):
             raise ValueError(f"({i}, {j}) outside {self.height} x {self.width} space")
         return i * self.width + j
 
     def from_linear(self, index: int) -> Tuple[int, int]:
+        """Inverse of :meth:`linear_index`."""
         if not 0 <= index < self.num_elements:
             raise ValueError(f"linear index {index} out of range [0, {self.num_elements})")
         return divmod(index, self.width)
 
     def write_order(self) -> Iterator[Tuple[int, int]]:
+        """Row-wise traversal (the write phase's program order)."""
         for i in range(self.height):
             for j in range(self.width):
                 yield i, j
 
     def read_order(self) -> Iterator[Tuple[int, int]]:
+        """Column-wise traversal (the read phase's program order)."""
         for j in range(self.width):
             for i in range(self.height):
                 yield i, j

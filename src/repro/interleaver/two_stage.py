@@ -65,10 +65,12 @@ class TwoStageConfig:
 
     @property
     def elements_per_frame(self) -> int:
+        """Burst elements per frame: ``triangle_n (triangle_n + 1) / 2``."""
         return self.triangle_n * (self.triangle_n + 1) // 2
 
     @property
     def symbols_per_frame(self) -> int:
+        """Symbols per frame (elements x symbols per element)."""
         return self.elements_per_frame * self.symbols_per_element
 
     @property

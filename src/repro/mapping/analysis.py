@@ -67,12 +67,14 @@ class PatternMetrics:
 
     @property
     def bank_switch_rate(self) -> float:
+        """Fraction of consecutive accesses that change bank."""
         if self.accesses <= 1:
             return 0.0
         return self.bank_switches / (self.accesses - 1)
 
     @property
     def bank_group_switch_rate(self) -> float:
+        """Fraction of consecutive accesses that change bank group."""
         if self.accesses <= 1:
             return 0.0
         return self.bank_group_switches / (self.accesses - 1)
@@ -130,6 +132,7 @@ class MappingProfile:
 
     @property
     def min_hit_rate(self) -> float:
+        """The worse of the write- and read-phase page-hit rates."""
         return min(self.write.hit_rate, self.read.hit_rate)
 
     @property

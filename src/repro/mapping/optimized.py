@@ -163,6 +163,7 @@ class OptimizedMapping(InterleaverMapping):
         return self._offsets[1]
 
     def rows_used(self) -> int:
+        """Distinct DRAM rows the tiling occupies (exact)."""
         if self._row_table is not None:
             return len(self._row_table)
         return self._tiles_x * self._tiles_y
@@ -187,6 +188,7 @@ class OptimizedMapping(InterleaverMapping):
         return (i // self._tile_h + j // self._tile_w) % self._banks
 
     def address_tuple(self, i: int, j: int) -> AddressTuple:
+        """Bank/row/column of cell ``(i, j)`` (rotation + tile + offset)."""
         if not self.space.contains(i, j):
             raise ValueError(f"({i}, {j}) outside the index space")
         banks = self._banks
@@ -234,11 +236,13 @@ class OptimizedMapping(InterleaverMapping):
     # -- traversal fast paths ---------------------------------------------
 
     def write_addresses(self) -> Iterator[AddressTuple]:
+        """Addresses in write (row-wise) order, hot-loop-bound inline."""
         address_tuple = self.address_tuple
         for i, j in self.space.write_order():
             yield address_tuple(i, j)
 
     def read_addresses(self) -> Iterator[AddressTuple]:
+        """Addresses in read (column-wise) order, hot-loop-bound inline."""
         address_tuple = self.address_tuple
         for i, j in self.space.read_order():
             yield address_tuple(i, j)

@@ -58,6 +58,7 @@ class RowMajorMapping(InterleaverMapping):
             )
 
     def address_tuple(self, i: int, j: int) -> AddressTuple:
+        """Linear-decode the cell's row-major index into bank/row/column."""
         address = self.decoder.decode(self.base_burst + self.space.linear_index(i, j))
         return address.bank, address.row, address.column
 
@@ -125,6 +126,6 @@ class RowMajorMapping(InterleaverMapping):
         return len(seen)
 
     def check_capacity(self) -> None:
-        # Injectivity is structural (decode is a bijection on linear
-        # indices); only the region bound matters, checked in __init__.
+        """No-op: injectivity is structural (decode is a bijection on
+        linear indices) and the region bound is checked in ``__init__``."""
         return None

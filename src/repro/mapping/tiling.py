@@ -51,6 +51,7 @@ class TileGeometry:
 
     @property
     def cells_per_tile(self) -> int:
+        """Cells covered by one tile (tile height x tile width)."""
         return self.tile_h * self.tile_w
 
     @property

@@ -38,6 +38,7 @@ class ValidationReport:
 
     @property
     def ok(self) -> bool:
+        """Whether the mapping is injective and within the device."""
         return not self.collisions and not self.out_of_range
 
 

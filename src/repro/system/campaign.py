@@ -172,10 +172,12 @@ class CellResult:
 
     @property
     def failure_rate_interleaved(self) -> float:
+        """Code-word failure rate with the two-stage interleaver."""
         return self.failed_interleaved / self.codewords if self.codewords else 0.0
 
     @property
     def failure_rate_baseline(self) -> float:
+        """Code-word failure rate without interleaving."""
         return self.failed_baseline / self.codewords if self.codewords else 0.0
 
     @property
@@ -197,6 +199,7 @@ class CellResult:
 
     @property
     def symbol_error_rate(self) -> float:
+        """Observed channel symbol error rate over the whole cell."""
         total = self.cell.frames * self.cell.interleaver.symbols_per_frame
         return self.error_symbols / total if total else 0.0
 
@@ -267,6 +270,17 @@ def campaign_grid(
     Interleaver/code pairs whose dimensions disagree (the
     :class:`~repro.system.downlink.OpticalDownlink` constructor would
     reject them) are skipped, so mixed code lengths can share one grid.
+
+    Args:
+        channels: Gilbert–Elliott parameter sets to sweep.
+        interleavers: two-stage interleaver geometries to sweep.
+        codes: code configurations to sweep.
+        seeds: RNG seeds replicated per configuration.
+        frames: frames per cell.
+
+    Returns:
+        One cell per compatible (channel, interleaver, code, seed)
+        combination, in nested-loop order.
     """
     cells = []
     for channel in channels:
@@ -401,18 +415,22 @@ class CampaignSummary:
 
     @property
     def failure_rate_interleaved(self) -> float:
+        """Pooled code-word failure rate with the interleaver."""
         return self.failed_interleaved / self.codewords if self.codewords else 0.0
 
     @property
     def failure_rate_baseline(self) -> float:
+        """Pooled code-word failure rate without interleaving."""
         return self.failed_baseline / self.codewords if self.codewords else 0.0
 
     @property
     def interval_interleaved(self) -> Tuple[float, float]:
+        """95 % Wilson interval of the pooled interleaved rate."""
         return wilson_interval(self.failed_interleaved, self.codewords)
 
     @property
     def interval_baseline(self) -> Tuple[float, float]:
+        """95 % Wilson interval of the pooled baseline rate."""
         return wilson_interval(self.failed_baseline, self.codewords)
 
     @property
@@ -424,10 +442,12 @@ class CampaignSummary:
 
     @property
     def mean_fade_symbols(self) -> float:
+        """Mean fade duration of the row's channel, in symbols."""
         return self.channel.mean_fade_symbols
 
     @property
     def fade_fraction(self) -> float:
+        """Long-run fraction of time the row's channel spends fading."""
         return self.channel.stationary_bad
 
     def to_dict(self) -> Dict[str, object]:
@@ -544,7 +564,14 @@ def format_campaign(summaries: Sequence[CampaignSummary]) -> str:
 
 def export_json(results: Sequence[CellResult],
                 summaries: Sequence[CampaignSummary], stream: TextIO) -> None:
-    """Write the full campaign (cells + summaries) as one JSON document."""
+    """Write the full campaign (cells + summaries) as one JSON document.
+
+    Args:
+        results: per-cell outcomes, exported under ``"cells"``.
+        summaries: pooled per-configuration rows, exported under
+            ``"summaries"``.
+        stream: writable text stream receiving the document.
+    """
     json.dump(
         {
             "cache_version": CACHE_VERSION,
@@ -572,7 +599,12 @@ CSV_FIELDS = (
 
 
 def export_csv(results: Sequence[CellResult], stream: TextIO) -> None:
-    """Write one CSV row per cell (flat schema, spreadsheet-ready)."""
+    """Write one CSV row per cell (flat schema, spreadsheet-ready).
+
+    Args:
+        results: per-cell outcomes; one :data:`CSV_FIELDS` row each.
+        stream: writable text stream receiving header plus rows.
+    """
     writer = csv.DictWriter(stream, fieldnames=list(CSV_FIELDS))
     writer.writeheader()
     for result in results:

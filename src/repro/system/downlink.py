@@ -203,6 +203,18 @@ class OpticalDownlink:
         bit-identical to :meth:`run` from the same generator state
         (differential-tested in
         ``tests/channel/test_batched_channel.py``).
+
+        Args:
+            frames: frames to transmit (>= 1).
+            batch_frames: frames sampled per 2-D block
+                (default ``BATCH_FRAMES``).
+
+        Returns:
+            The aggregate :class:`DownlinkResult` over all frames.
+
+        Raises:
+            ValueError: on a non-positive ``frames`` or
+                ``batch_frames``.
         """
         if frames < 1:
             raise ValueError(f"frames must be >= 1, got {frames}")

@@ -33,6 +33,7 @@ from repro.dram.simulator import (
 )
 from repro.dram.stats import PhaseStats
 from repro.interleaver.triangular import TriangularIndexSpace
+from repro.system.e2e import E2ECell, E2EResult, run_e2e
 
 
 @dataclass(frozen=True)
@@ -190,6 +191,43 @@ def execute_mixed_task(task: MixedTask) -> MixedResult:
                                       policy=task.policy)
 
 
+@dataclass(frozen=True)
+class E2ETask:
+    """One end-to-end downlink -> DRAM co-simulation work item.
+
+    Unlike the other task kinds the work description already *is* a
+    declarative frozen dataclass of primitives —
+    :class:`~repro.system.e2e.E2ECell` — so the task simply carries it;
+    keeping the wrapper gives the co-simulation the same task/worker
+    shape (and the same ``--jobs`` bit-identity contract) as every
+    other grid in this module.
+
+    Attributes:
+        cell: the joint (channel x interleaver x DRAM config x mapping
+            x seed) experiment to run.
+    """
+
+    cell: E2ECell
+
+
+def execute_e2e_task(task: E2ETask) -> E2EResult:
+    """Run one :class:`E2ETask` to completion (also the worker entry).
+
+    Args:
+        task: the work item.
+
+    Returns:
+        The joint :class:`~repro.system.e2e.E2EResult` of the cell.
+
+    Raises:
+        KeyError: if the cell names an unknown DRAM configuration or
+            mapping registry key.
+        ValueError: if the cell's channel/interleaver/code dimensions
+            are inconsistent or the mapping exceeds the device.
+    """
+    return run_e2e(task.cell)
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalize a ``--jobs``-style argument to a worker count.
 
@@ -241,8 +279,14 @@ def run_mixed_tasks(
     tasks: Iterable[MixedTask],
     jobs: Optional[int] = None,
 ) -> List[MixedResult]:
-    """Execute steady-state mixed-traffic tasks; same contract as
-    :func:`run_phase_tasks`."""
+    """Execute steady-state mixed-traffic tasks.
+
+    Same contract as :func:`run_phase_tasks`.
+
+    Args:
+        tasks: work items; results come back in the same order.
+        jobs: worker processes (see :func:`resolve_jobs`).
+    """
     return _run_tasks(execute_mixed_task, tasks, jobs)
 
 
@@ -250,6 +294,29 @@ def run_interleaver_tasks(
     tasks: Iterable[InterleaverTask],
     jobs: Optional[int] = None,
 ) -> List[InterleaverSimResult]:
-    """Execute full-frame interleaver tasks; same contract as
-    :func:`run_phase_tasks`."""
+    """Execute full-frame interleaver tasks.
+
+    Same contract as :func:`run_phase_tasks`.
+
+    Args:
+        tasks: work items; results come back in the same order.
+        jobs: worker processes (see :func:`resolve_jobs`).
+    """
     return _run_tasks(execute_interleaver_task, tasks, jobs)
+
+
+def run_e2e_tasks(
+    tasks: Iterable[E2ETask],
+    jobs: Optional[int] = None,
+) -> List[E2EResult]:
+    """Execute end-to-end co-simulation tasks.
+
+    Same contract as :func:`run_phase_tasks`: results in submission
+    order, bit-identical for any ``jobs`` value, serial fallback when
+    the pool is unavailable.
+
+    Args:
+        tasks: work items; results come back in the same order.
+        jobs: worker processes (see :func:`resolve_jobs`).
+    """
+    return _run_tasks(execute_e2e_task, tasks, jobs)

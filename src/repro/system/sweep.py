@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.channel.codeword import CodewordConfig
+from repro.channel.gilbert_elliott import GilbertElliottParams, coherence_params
 from repro.dram.controller import OP_READ, OP_WRITE, ControllerConfig
 from repro.dram.energy import (
     EnergyReport,
@@ -27,13 +29,17 @@ from repro.dram.presets import TABLE1_CONFIG_NAMES, DramConfig, get_config
 from repro.dram.simulator import InterleaverSimResult, simulate_interleaver
 from repro.dram.stats import PhaseStats
 from repro.interleaver.triangular import TriangularIndexSpace
+from repro.interleaver.two_stage import TwoStageConfig
 from repro.mapping.base import InterleaverMapping
 from repro.mapping.optimized import OptimizedMapping
 from repro.mapping.row_major import RowMajorMapping
+from repro.system.e2e import E2ECell, E2EResult
 from repro.system.parallel import (
+    E2ETask,
     InterleaverTask,
     MixedTask,
     PhaseTask,
+    run_e2e_tasks,
     run_interleaver_tasks,
     run_mixed_tasks,
     run_phase_tasks,
@@ -220,8 +226,11 @@ def run_mixed_table(
 
     Runs the single-device write(k+1)/read(k) operating mode (the
     engine's turnaround rule set active) for every requested
-    configuration under both Table I mappings — the scenario the
-    ``run_mixed_phase`` fork used to block from the sweep/CLI layer.
+    configuration under both Table I mappings.  All cells run through
+    the unified engine via
+    :func:`~repro.dram.simulator.simulate_mixed_interleaver`, so mixed
+    rows carry the same ``command_counts``/recording capabilities as
+    the homogeneous tables.
 
     Args:
         n: triangular interleaver dimension.
@@ -382,6 +391,176 @@ def format_energy_table(rows: Sequence[EnergyRow]) -> str:
     return "\n".join(lines)
 
 
+#: Default Gilbert-Elliott channel of the e2e table: 60-symbol mean
+#: fades covering 0.4 % of the stream, 70 % symbol error rate inside a
+#: fade — the midpoint of the campaign CLI's default grid.
+DEFAULT_E2E_CHANNEL = coherence_params(60.0, 0.004, p_bad=0.7)
+
+
+@dataclass(frozen=True)
+class E2ERow:
+    """One joint co-simulation cell of the e2e table (config x mapping).
+
+    Attributes:
+        config_name: DRAM configuration.
+        mapping_name: address mapping used for both phases.
+        result: the full joint outcome (channel failure rates, DRAM
+            phase statistics, per-frame latencies, energy).
+    """
+
+    config_name: str
+    mapping_name: str
+    result: E2EResult
+
+
+def e2e_grid(
+    n: int = 32,
+    config_names: Sequence[str] = TABLE1_CONFIG_NAMES,
+    frames: int = 40,
+    channel: Optional[GilbertElliottParams] = None,
+    symbols_per_element: int = 4,
+    codeword_symbols: int = 24,
+    t_correctable: int = 2,
+    seed: int = 2024,
+    policy: Optional[ControllerConfig] = None,
+) -> List[E2ECell]:
+    """Build the (config x mapping) cell grid of the e2e table.
+
+    Every cell shares the channel, interleaver geometry, code and seed,
+    so the table isolates the DRAM axis: the channel outcome is common
+    while utilization, latency percentiles and energy vary per
+    (configuration, mapping).
+
+    Args:
+        n: triangular interleaver dimension (the frame must hold whole
+            code-word groups: ``n (n+1)/2`` divisible by
+            ``codeword_symbols``; 15, 32 and 48 all qualify at the
+            defaults).
+        config_names: subset of Table I configurations.
+        frames: frames co-simulated per cell.
+        channel: Gilbert-Elliott parameters
+            (default :data:`DEFAULT_E2E_CHANNEL`).
+        symbols_per_element: symbols packed into one DRAM burst element.
+        codeword_symbols: symbols per code word.
+        t_correctable: decoder correction radius.
+        seed: channel RNG seed shared by every cell.
+        policy: controller policy overrides applied to every cell.
+
+    Raises:
+        ValueError: when the interleaver/code dimensions are
+            inconsistent (e.g. the frame does not hold whole SRAM
+            groups).
+    """
+    interleaver = TwoStageConfig(triangle_n=n,
+                                 symbols_per_element=symbols_per_element,
+                                 codeword_symbols=codeword_symbols)
+    code = CodewordConfig(n_symbols=codeword_symbols,
+                          t_correctable=t_correctable)
+    return [
+        E2ECell(
+            channel=channel or DEFAULT_E2E_CHANNEL,
+            interleaver=interleaver,
+            code=code,
+            config_name=config_name,
+            mapping=mapping_name,
+            seed=seed,
+            frames=frames,
+            policy=policy,
+        )
+        for config_name in config_names
+        for mapping_name in ("row-major", "optimized")
+    ]
+
+
+def run_e2e_table(
+    n: int = 32,
+    config_names: Sequence[str] = TABLE1_CONFIG_NAMES,
+    frames: int = 40,
+    channel: Optional[GilbertElliottParams] = None,
+    symbols_per_element: int = 4,
+    codeword_symbols: int = 24,
+    t_correctable: int = 2,
+    seed: int = 2024,
+    policy: Optional[ControllerConfig] = None,
+    jobs: Optional[int] = None,
+) -> List[E2ERow]:
+    """The joint downlink -> DRAM co-simulation table.
+
+    The end-to-end analogue of :func:`run_table1`: each cell runs one
+    channel-corrupted interleaved frame stream *and* both DRAM phase
+    traversals of those frames through
+    :func:`~repro.system.e2e.run_e2e`, so one run yields channel
+    code-word failure rates, DRAM utilization, per-frame latency
+    percentiles and frame energy for every (configuration, mapping)
+    cell.  Cells fan out over
+    :func:`~repro.system.parallel.run_e2e_tasks`; results are
+    bit-identical for any ``jobs`` value.
+
+    Args:
+        n: triangular interleaver dimension (see :func:`e2e_grid`).
+        config_names: subset of Table I configurations.
+        frames: frames co-simulated per cell.
+        channel: Gilbert-Elliott parameters
+            (default :data:`DEFAULT_E2E_CHANNEL`).
+        symbols_per_element: symbols packed into one DRAM burst element.
+        codeword_symbols: symbols per code word.
+        t_correctable: decoder correction radius.
+        seed: channel RNG seed shared by every cell.
+        policy: controller policy overrides applied to every cell.
+        jobs: worker processes (``None``/``1`` serial, ``0`` = all cores).
+
+    Returns:
+        One :class:`E2ERow` per (configuration, mapping) cell, in grid
+        order.
+    """
+    cells = e2e_grid(n=n, config_names=config_names, frames=frames,
+                     channel=channel,
+                     symbols_per_element=symbols_per_element,
+                     codeword_symbols=codeword_symbols,
+                     t_correctable=t_correctable, seed=seed, policy=policy)
+    results = run_e2e_tasks([E2ETask(cell=cell) for cell in cells], jobs=jobs)
+    return [
+        E2ERow(config_name=cell.config_name, mapping_name=cell.mapping,
+               result=result)
+        for cell, result in zip(cells, results)
+    ]
+
+
+def format_e2e_table(rows: Sequence[E2ERow]) -> str:
+    """Render e2e rows as the joint co-simulation text table.
+
+    One line per (configuration, mapping) cell: the interleaved
+    code-word failure rate and pooled gain from the channel side, the
+    write/read data-bus utilizations, the p50/p99 per-frame write and
+    read service times in microseconds (nearest-rank percentiles, see
+    :func:`~repro.system.e2e.latency_percentile_ps`) and the frame
+    energy per payload bit.
+    """
+    lines = [
+        f"{'DRAM':14s} {'mapping':10s} {'CWER intl':>10s} {'gain':>7s} "
+        f"{'wr util':>8s} {'rd util':>8s} "
+        f"{'wr p50us':>9s} {'wr p99us':>9s} {'rd p50us':>9s} {'rd p99us':>9s} "
+        f"{'pJ/bit':>7s}",
+    ]
+    for row in rows:
+        result = row.result
+        gain = result.gain
+        gain_text = "inf" if gain == float("inf") else f"{gain:.1f}x"
+        lines.append(
+            f"{row.config_name:14s} {row.mapping_name:10s} "
+            f"{result.cwer_interleaved:10.2e} {gain_text:>7s} "
+            f"{result.write_utilization:8.2%} {result.read_utilization:8.2%} "
+            f"{result.write_latency_percentile(50) / 1e6:9.3f} "
+            f"{result.write_latency_percentile(99) / 1e6:9.3f} "
+            f"{result.read_latency_percentile(50) / 1e6:9.3f} "
+            f"{result.read_latency_percentile(99) / 1e6:9.3f} "
+            f"{result.energy.pj_per_bit:7.2f}"
+        )
+    lines.append("(one joint run per cell: channel FER + DRAM phase "
+                 "utilization/latency/energy)")
+    return "\n".join(lines)
+
+
 @dataclass(frozen=True)
 class SizeSweepPoint:
     """One (size, mapping) sample of the size sweep."""
@@ -394,6 +573,7 @@ class SizeSweepPoint:
 
     @property
     def min_utilization(self) -> float:
+        """The throughput-limiting utilization of the sample."""
         return min(self.write_utilization, self.read_utilization)
 
 
@@ -410,6 +590,17 @@ def sweep_sizes(
     processes when the default Table I mappings are swept on a preset
     configuration; custom factories or configurations fall back to the
     serial path (callables do not travel across processes).
+
+    Args:
+        config: DRAM configuration to sweep on.
+        sizes: triangular interleaver dimensions to sample.
+        mapping_factories: named mapping constructors
+            (default: the two Table I mappings).
+        policy: controller policy overrides applied to every sample.
+        jobs: worker processes (``None``/``1`` serial, ``0`` = all cores).
+
+    Returns:
+        One point per (size, mapping) sample, sizes outermost.
     """
     factories = mapping_factories or default_mappings()
     parallelizable = (

@@ -61,7 +61,19 @@ class ThroughputReport:
 
 
 def throughput_report(config: DramConfig, result: InterleaverSimResult) -> ThroughputReport:
-    """Build a :class:`ThroughputReport` from a simulation result."""
+    """Build a :class:`ThroughputReport` from a simulation result.
+
+    Args:
+        config: the configuration that was simulated (supplies the peak
+            bandwidth the utilizations are scaled against).
+        result: both-phase simulation outcome of one (configuration,
+            mapping) cell.
+
+    Returns:
+        The derived report; ``sustained_gbit`` is
+        ``min(write, read) x peak / 2`` (each payload byte crosses the
+        bus twice per frame).
+    """
     peak = gbit_per_s(config.peak_bandwidth_bytes_per_s)
     min_util = result.min_utilization
     return ThroughputReport(
@@ -74,7 +86,21 @@ def throughput_report(config: DramConfig, result: InterleaverSimResult) -> Throu
 
 
 def required_channels(report: ThroughputReport, target_gbit: float) -> int:
-    """Parallel channels of this configuration needed for a line rate."""
+    """Parallel channels of this configuration needed for a line rate.
+
+    Args:
+        report: sustained-throughput report of one (configuration,
+            mapping) option.
+        target_gbit: required interleaver line rate in Gbit/s.
+
+    Returns:
+        The smallest channel count whose combined sustained bandwidth
+        covers the target (at least 1).
+
+    Raises:
+        ValueError: on a non-positive target, or a report that sustains
+            no throughput at all.
+    """
     if target_gbit <= 0:
         raise ValueError(f"target_gbit must be positive, got {target_gbit}")
     if report.sustained_gbit <= 0:
@@ -190,6 +216,18 @@ def energy_pareto(
     configurations a designer should actually consider; everything
     else is the energy tax of over-provisioning the wrong grade or
     mapping.
+
+    Args:
+        cells: ``(report, energy)`` pairs, one per simulated
+            (configuration, mapping) cell.
+        max_channels: channel counts spanned per cell (>= 1).
+
+    Returns:
+        All provisioning points ordered by sustained bandwidth then
+        power, with the Pareto-optimal ones flagged.
+
+    Raises:
+        ValueError: when ``max_channels`` is not positive.
 
     Returns:
         All points sorted by (sustained bandwidth, power) ascending.

@@ -159,6 +159,56 @@ def render_energy_pareto(points, width: int = 30) -> str:
     return "\n".join(lines)
 
 
+def render_e2e_latency(rows, width: int = 30) -> str:
+    """Per-frame latency-percentile chart of the e2e co-simulation table.
+
+    Two lines per :class:`~repro.system.sweep.E2ERow` — one per DRAM
+    phase: the bar spans p50 (``#``) to p99 (``+``) of the per-frame
+    service time on a linear scale shared by every line, so tail
+    inflation (refresh interruptions, row-miss chains of the collapsed
+    mapping) is visible as the ``+`` overhang past the solid bar.  The
+    columns give p50/p90/p99 in microseconds.
+
+    Args:
+        rows: :class:`~repro.system.sweep.E2ERow` sequence (one per
+            configuration x mapping cell).
+        width: bar width in characters.
+
+    Raises:
+        ValueError: on a non-positive ``width``.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    rows = list(rows)
+    if not rows:
+        return "(no e2e rows)"
+    samples = []
+    for row in rows:
+        for phase in ("write", "read"):
+            result = row.result
+            pick = (result.write_latency_percentile if phase == "write"
+                    else result.read_latency_percentile)
+            samples.append((row, phase, pick(50), pick(90), pick(99)))
+    top = max(p99 for _, _, _, _, p99 in samples)
+    lines = [f"{'DRAM':14s} {'mapping':10s} {'phase':5s} "
+             f"{'frame latency p50..p99':{width}s} "
+             f"{'p50us':>8s} {'p90us':>8s} {'p99us':>8s}"]
+    for row, phase, p50, p90, p99 in samples:
+        if top > 0:
+            filled = round(p50 / top * width)
+            tail = max(round(p99 / top * width) - filled, 0)
+        else:
+            filled = tail = 0
+        bar = "#" * filled + "+" * tail + "-" * max(width - filled - tail, 0)
+        lines.append(
+            f"{row.config_name:14s} {row.mapping_name:10s} {phase:5s} "
+            f"{bar} {p50 / 1e6:8.3f} {p90 / 1e6:8.3f} {p99 / 1e6:8.3f}"
+        )
+    lines.append("(bar: # to p50, + to p99; shared linear scale — "
+                 "the + overhang is the tail a refresh or row-miss chain adds)")
+    return "\n".join(lines)
+
+
 def _log10(value: float) -> float:
     return math.log10(value) if value > 0 else 0.0
 

@@ -1,0 +1,29 @@
+"""Golden-file pin of the e2e co-simulation table.
+
+``format_e2e_table(run_e2e_table(n=15, frames=40))`` is pinned
+byte-for-byte, like the Table I and energy-table goldens.  This freezes
+the whole joint pipeline at once: the channel RNG stream (the seed-2024
+fade pattern and its rescued baseline failures), both DRAM phase
+schedules of every Table I (configuration, mapping) cell, the
+nearest-rank latency percentiles and the energy accounting — any
+unintended change to any layer shows up as a table diff.
+
+Regenerate after an *intended* change with::
+
+    PYTHONPATH=src python -c "
+    from repro.system.sweep import run_e2e_table, format_e2e_table
+    print(format_e2e_table(run_e2e_table(n=15, frames=40)))
+    " > tests/golden/e2e_table_n15.txt
+"""
+
+import pathlib
+
+from repro.system.sweep import format_e2e_table, run_e2e_table
+
+GOLDEN = pathlib.Path(__file__).parent.parent / "golden" / "e2e_table_n15.txt"
+
+
+class TestE2EGolden:
+    def test_default_table_matches_golden(self):
+        text = format_e2e_table(run_e2e_table(n=15, frames=40)) + "\n"
+        assert text == GOLDEN.read_text()

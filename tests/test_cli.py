@@ -15,8 +15,8 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for command in ("table1", "mixed", "ablation", "energy", "fig1",
-                        "downlink", "campaign", "provision", "trace",
-                        "configs"):
+                        "downlink", "campaign", "e2e", "provision",
+                        "trace", "configs"):
             assert command in text
 
 
@@ -282,6 +282,63 @@ class TestCampaign:
     def test_rejects_zero_seeds(self, capsys):
         assert main(["campaign", "--seeds", "0"]) == 2
         capsys.readouterr()
+
+
+E2E_SMALL = ["e2e", "--n", "15", "--frames", "8",
+             "--configs", "DDR4-3200", "LPDDR4-4266"]
+
+
+class TestE2E:
+    def test_runs_joint_table(self, capsys):
+        assert main(E2E_SMALL) == 0
+        out = capsys.readouterr().out
+        assert "e2e: 4 cells" in out
+        assert "CWER intl" in out
+        assert "pJ/bit" in out
+        assert "row-major" in out and "optimized" in out
+        assert "frame latency p50..p99" in out  # chart follows the table
+
+    def test_no_chart_flag(self, capsys):
+        assert main(E2E_SMALL + ["--no-chart"]) == 0
+        assert "frame latency p50..p99" not in capsys.readouterr().out
+
+    def test_jobs_determinism_bit_identical(self, capsys):
+        """The full e2e output (table + latency chart) must not depend
+        on how the cell grid was fanned out."""
+        assert main(E2E_SMALL + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(E2E_SMALL + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_no_refresh_changes_latency_tail(self, capsys):
+        args = ["e2e", "--n", "15", "--frames", "64",
+                "--configs", "DDR4-3200", "--no-chart"]
+        assert main(args) == 0
+        with_refresh = capsys.readouterr().out
+        assert main(args + ["--no-refresh"]) == 0
+        without_refresh = capsys.readouterr().out
+        assert with_refresh != without_refresh
+
+    def test_unknown_config_fails(self, capsys):
+        assert main(["e2e", "--configs", "DDR9-1"]) == 2
+        assert "unknown configurations" in capsys.readouterr().err
+
+    def test_rejects_zero_frames(self, capsys):
+        assert main(["e2e", "--frames", "0"]) == 2
+        assert "--frames" in capsys.readouterr().err
+
+    def test_rejects_invalid_geometry(self, capsys):
+        # 16*17/2 = 136 elements x 4 symbols is not a whole number of
+        # 4x24-symbol code-word groups.
+        assert main(["e2e", "--n", "16", "--frames", "2",
+                     "--configs", "DDR3-800"]) == 2
+        assert "whole number" in capsys.readouterr().err
+
+    def test_rejects_bad_fade_fraction(self, capsys):
+        assert main(["e2e", "--fade-fraction", "1.5", "--frames", "2",
+                     "--configs", "DDR3-800"]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestProvision:

@@ -13,6 +13,7 @@ from repro.viz import (
     render_banks,
     render_campaign_gains,
     render_columns,
+    render_e2e_latency,
     render_energy_pareto,
     render_figure1,
     render_full,
@@ -170,6 +171,50 @@ class TestEnergyPareto:
         with pytest.raises(ValueError):
             render_energy_pareto([_pareto_point("a", "b", 1, 1.0, 1.0, True)],
                                  width=0)
+
+
+class TestRenderE2ELatency:
+    @pytest.fixture
+    def e2e_rows(self):
+        from repro.channel.gilbert_elliott import coherence_params
+        from repro.system.e2e import E2ECell, run_e2e
+        from repro.system.sweep import E2ERow
+
+        rows = []
+        for mapping in ("row-major", "optimized"):
+            cell = E2ECell(
+                channel=coherence_params(60.0, 0.004, p_bad=0.7),
+                interleaver=TwoStageConfig(triangle_n=15,
+                                           symbols_per_element=4,
+                                           codeword_symbols=24),
+                code=CodewordConfig(n_symbols=24, t_correctable=2),
+                config_name="LPDDR4-4266", mapping=mapping,
+                seed=5, frames=4)
+            rows.append(E2ERow(config_name=cell.config_name,
+                               mapping_name=mapping, result=run_e2e(cell)))
+        return rows
+
+    def test_two_lines_per_row(self, e2e_rows):
+        text = render_e2e_latency(e2e_rows, width=12)
+        lines = text.splitlines()
+        assert len(lines) == 2 + 2 * len(e2e_rows)  # header + phases + legend
+        assert "write" in lines[1] and "read" in lines[2]
+        assert "p99us" in lines[0]
+
+    def test_bars_share_the_scale(self, e2e_rows):
+        width = 20
+        text = render_e2e_latency(e2e_rows, width=width)
+        bars = [line.split()[3] for line in text.splitlines()[1:-1]]
+        assert all(len(bar) == width for bar in bars)
+        # The worst p99 line fills the bar to the right edge.
+        assert any(not bar.endswith("-") for bar in bars)
+
+    def test_empty_rows(self):
+        assert "no e2e rows" in render_e2e_latency([])
+
+    def test_rejects_bad_width(self, e2e_rows):
+        with pytest.raises(ValueError):
+            render_e2e_latency(e2e_rows, width=0)
 
 
 class TestHelpers:
