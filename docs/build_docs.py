@@ -58,6 +58,7 @@ PAGES = (
     ("index", "Overview"),
     ("architecture", "Architecture"),
     ("reproduction", "Reproduction guide"),
+    ("analysis", "Static analysis"),
 )
 
 ROLE_RE = re.compile(

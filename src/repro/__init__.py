@@ -19,6 +19,8 @@ Quickstart::
     print(result.write_utilization, result.read_utilization)
 """
 
+from __future__ import annotations
+
 from repro.channel import (
     CodewordConfig,
     GilbertElliottChannel,

@@ -1,0 +1,95 @@
+"""The ``repro lint`` command: run the analyzer, print, set exit code.
+
+Human output is one conventional ``path:line:col: RULE [severity]
+message`` line per finding plus a summary; ``--json`` emits a stable
+machine-readable document instead (schema version, rule catalogue
+reference, sorted findings).  Exit codes: 0 clean, 1 findings at
+``error`` severity, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, TextIO
+
+from repro.analysis.base import all_rules, get_rules
+from repro.analysis.findings import Finding
+from repro.analysis.runner import analyze_paths
+
+#: Schema version of the ``--json`` document.
+JSON_SCHEMA_VERSION = 1
+
+
+def findings_to_json(findings: Sequence[Finding],
+                     files: int) -> Dict[str, Any]:
+    """The machine-readable lint report document."""
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "files": files,
+        "findings": [finding.to_dict() for finding in findings],
+        "errors": sum(1 for f in findings if f.severity == "error"),
+        "warnings": sum(1 for f in findings if f.severity == "warning"),
+    }
+
+
+def format_findings(findings: Sequence[Finding], files: int) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.format() for finding in findings]
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    if findings:
+        lines.append("")
+    lines.append(f"{files} file(s) analyzed: {errors} error(s), "
+                 f"{warnings} warning(s)")
+    return "\n".join(lines)
+
+
+def list_rules_text() -> str:
+    """The rule catalogue: id, name, severity and summary per rule."""
+    lines = [f"{'id':5s} {'name':18s} {'severity':8s} summary"]
+    for rule in all_rules():
+        lines.append(f"{rule.id:5s} {rule.name:18s} {rule.severity:8s} "
+                     f"{type(rule).summary()}")
+    return "\n".join(lines)
+
+
+def run_lint(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    json_output: bool = False,
+    stream: Optional[TextIO] = None,
+    error_stream: Optional[TextIO] = None,
+) -> int:
+    """Run the analyzer over ``paths`` and print a report.
+
+    Args:
+        paths: files/directories to lint.
+        select: rule ids to run (default all; unknown ids exit 2).
+        json_output: emit the JSON document instead of human lines.
+        stream: report destination (default ``sys.stdout``).
+        error_stream: usage-error destination (default ``sys.stderr``).
+
+    Returns:
+        Process exit code: 0 clean, 1 error-severity findings,
+        2 usage errors (unknown rule id, missing path).
+    """
+    import sys
+
+    out = stream if stream is not None else sys.stdout
+    err = error_stream if error_stream is not None else sys.stderr
+    try:
+        get_rules(select)
+        findings, files = analyze_paths(paths, select=select)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=err)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=err)
+        return 2
+    if json_output:
+        json.dump(findings_to_json(findings, files), out, indent=2)
+        print(file=out)
+    else:
+        print(format_findings(findings, files), file=out)
+    errors: List[Finding] = [f for f in findings if f.severity == "error"]
+    return 1 if errors else 0

@@ -1,0 +1,201 @@
+"""R002 — determinism: seed-deterministic, ``--jobs``-invariant results.
+
+Every table, campaign cell and co-simulation result must be a pure
+function of its configuration and seed: reruns and ``--jobs N`` fan-out
+are proven byte-identical.  Three things silently break that proof
+without failing any functional test, and R002 flags each in ``src/``
+code:
+
+* the legacy global RNGs (``random.*``, ``np.random.seed``/
+  ``np.random.rand``/…) — all randomness must flow through a seeded
+  :class:`numpy.random.Generator` parameter
+  (``np.random.default_rng`` and the ``Generator``/``SeedSequence``
+  types themselves are the sanctioned constructs);
+* wall-clock reads (``time.time``, ``datetime.now``, ``perf_counter``)
+  in result-producing code — benchmarks and tests may time things,
+  ``src/`` may not;
+* iterating a ``set`` (or ``dict.keys()``) while building an ordered
+  output — set order depends on ``PYTHONHASHSEED``; wrap the set in
+  ``sorted(...)`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.analysis.base import FileContext, Rule, register
+from repro.analysis.findings import Finding
+
+#: ``np.random`` attributes that are sanctioned (the seeded-Generator
+#: machinery); everything else on ``np.random`` is the legacy global
+#: RNG surface.
+ALLOWED_NP_RANDOM = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+#: Wall-clock reading functions of the ``time`` module.
+_TIME_FUNCTIONS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+})
+
+#: Wall-clock reading methods/constructors on datetime/date objects.
+_DATETIME_FUNCTIONS = frozenset({"now", "utcnow", "today"})
+
+#: Calls that materialize their argument's iteration order.  Anything
+#: else taking a set (``sorted``, ``len``, ``min``, …) is
+#: order-insensitive or order-producing and therefore sanctioned.
+_ORDER_SENSITIVE = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _is_set_typed(node: ast.AST, env: Dict[str, bool]) -> bool:
+    """Best-effort: does ``node`` evaluate to a ``set``?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.Name):
+        return env.get(node.id, False)
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return _is_set_typed(node.left, env) or _is_set_typed(node.right, env)
+    return False
+
+
+def _is_keys_call(node: ast.AST) -> bool:
+    """Is ``node`` a ``something.keys()`` call?"""
+    return (isinstance(node, ast.Call) and not node.args
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "keys")
+
+
+@register
+class DeterminismRule(Rule):
+    """No legacy RNG, wall-clock read, or bare-set iteration in result-producing code.
+
+    Randomness flows through a seeded ``numpy.random.Generator``
+    parameter; time comes from the simulated integer-picosecond
+    timeline; ordered outputs come from ``sorted(...)``, never raw set
+    iteration.
+    """
+
+    id = "R002"
+    name = "determinism"
+    roles = ("src",)
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Flag nondeterminism sources in production code."""
+        yield from self._check_imports(context)
+        env = self._set_typed_names(context.tree)
+        for node in ast.walk(context.tree):
+            finding = self._check_attribute(context, node)
+            if finding is not None:
+                yield finding
+            yield from self._check_iteration(context, node, env)
+
+    def _check_imports(self, context: FileContext) -> Iterator[Finding]:
+        """Flag imports of the legacy ``random`` module and time sources."""
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        yield context.finding(
+                            self, node,
+                            "import of the legacy 'random' module: pass "
+                            "a seeded numpy.random.Generator instead")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield context.finding(
+                        self, node,
+                        "import from the legacy 'random' module: pass "
+                        "a seeded numpy.random.Generator instead")
+                elif node.module == "time":
+                    clocky = sorted(
+                        alias.name for alias in node.names
+                        if alias.name in _TIME_FUNCTIONS)
+                    if clocky:
+                        yield context.finding(
+                            self, node,
+                            f"wall-clock import from 'time' "
+                            f"({', '.join(clocky)}): results must not "
+                            f"depend on host time")
+
+    def _check_attribute(self, context: FileContext,
+                         node: ast.AST) -> Optional[Finding]:
+        """Flag legacy ``np.random.*`` uses and wall-clock reads."""
+        if not isinstance(node, ast.Attribute):
+            return None
+        value = node.value
+        # np.random.<legacy>  /  numpy.random.<legacy>
+        if (isinstance(value, ast.Attribute) and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in ("np", "numpy")
+                and node.attr not in ALLOWED_NP_RANDOM):
+            return context.finding(
+                self, node,
+                f"legacy global RNG np.random.{node.attr}: use a seeded "
+                f"numpy.random.Generator parameter")
+        # time.<clock>()
+        if (isinstance(value, ast.Name) and value.id == "time"
+                and node.attr in _TIME_FUNCTIONS):
+            return context.finding(
+                self, node,
+                f"wall-clock read time.{node.attr}: results must not "
+                f"depend on host time")
+        # datetime.now() / datetime.datetime.now() / date.today() ...
+        if node.attr in _DATETIME_FUNCTIONS:
+            root = value
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            names = {value.attr} if isinstance(value, ast.Attribute) else set()
+            if isinstance(root, ast.Name):
+                names.add(root.id)
+            if names & {"datetime", "date"}:
+                return context.finding(
+                    self, node,
+                    f"wall-clock read {ast.unparse(node)}: results must "
+                    f"not depend on host time")
+        return None
+
+    def _set_typed_names(self, tree: ast.Module) -> Dict[str, bool]:
+        """Names assigned from set-typed expressions (whole file, flat).
+
+        Best-effort and scope-flattened: a false ``set`` attribution
+        would need the same name to hold a set in one scope and an
+        ordered iterable in another, which the code base avoids.
+        """
+        env: Dict[str, bool] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                name = node.targets[0].id
+                env[name] = env.get(name, False) or \
+                    _is_set_typed(node.value, env)
+        return env
+
+    def _check_iteration(self, context: FileContext, node: ast.AST,
+                         env: Dict[str, bool]) -> Iterator[Finding]:
+        """Flag iteration that materializes set/keys order."""
+        iters = []
+        if isinstance(node, ast.For):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in _ORDER_SENSITIVE and node.args:
+            iters.append(node.args[0])
+        for candidate in iters:
+            if _is_set_typed(candidate, env):
+                yield context.finding(
+                    self, candidate,
+                    "iteration over a bare set: order depends on "
+                    "PYTHONHASHSEED — wrap it in sorted(...)")
+            elif _is_keys_call(candidate):
+                yield context.finding(
+                    self, candidate,
+                    "iteration over dict.keys(): iterate the dict (or "
+                    "sorted(d)) when building ordered output")

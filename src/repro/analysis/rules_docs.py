@@ -1,0 +1,80 @@
+"""R006 — public docstring coverage stays at 100%.
+
+PR 5's documentation site renders every public module, class, function
+and method; its build is warnings-as-errors, so a missing public
+docstring already fails CI — but only after an import-and-introspect
+build.  R006 is the same contract at lint time, from the AST alone:
+every public module, class, function, method and property in ``src/``
+carries a docstring.  Private names (leading underscore, including
+dunders), nested functions and property setters (documented by their
+getter) are exempt — mirroring what the docs generator renders.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence, Union
+
+from repro.analysis.base import FileContext, Rule, register
+from repro.analysis.findings import Finding
+
+
+def _is_public(name: str) -> bool:
+    """Public per the docs generator: no leading underscore."""
+    return not name.startswith("_")
+
+
+def _is_setter(node: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> bool:
+    """Is this a ``@x.setter``/``@x.deleter`` (documented via the getter)?"""
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Attribute) and \
+                decorator.attr in ("setter", "deleter"):
+            return True
+    return False
+
+
+@register
+class DocstringRule(Rule):
+    """Every public module, class, function, method and property carries a docstring.
+
+    The lint-time form of the docs site's warnings-as-errors build:
+    100% public docstring coverage, checked without importing anything.
+    """
+
+    id = "R006"
+    name = "public-docstring"
+    roles = ("src",)
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Flag missing public docstrings."""
+        tree = context.tree
+        if ast.get_docstring(tree) is None:
+            yield Finding(path=context.path, line=1, col=0, rule=self.id,
+                          message="missing module docstring",
+                          severity=self.severity)
+        yield from self._check_body(context, tree.body, owner="")
+
+    def _check_body(self, context: FileContext, body: Sequence[ast.stmt],
+                    owner: str) -> Iterator[Finding]:
+        """Check one class/module body's public definitions."""
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                if not _is_public(node.name):
+                    continue
+                label = f"{owner}{node.name}"
+                if ast.get_docstring(node) is None:
+                    yield context.finding(
+                        self, node,
+                        f"missing docstring on public class {label!r}")
+                yield from self._check_body(context, node.body,
+                                            owner=label + ".")
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not _is_public(node.name) or _is_setter(node):
+                    continue
+                kind = "method" if owner else "function"
+                if ast.get_docstring(node) is None:
+                    yield context.finding(
+                        self, node,
+                        f"missing docstring on public {kind} "
+                        f"{owner + node.name!r}")
+                # Nested defs are implementation detail: not recursed.

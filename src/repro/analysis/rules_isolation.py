@@ -1,0 +1,73 @@
+"""R001 — oracle isolation: frozen references stay test-only.
+
+The differential proof pattern only means something while the oracles
+stay independent: :mod:`repro.dram._reference` (the seed schedulers,
+frozen verbatim) and the ``*_reference`` scalar oracles must never leak
+into production code paths, or a bug could propagate into the very
+reference the vectorized path is "proven" against.  R001 flags any
+import of the ``_reference`` module, and any import of a
+``*_reference`` symbol, from ``src/`` code.
+
+Refinement (documented, not a suppression): package ``__init__``
+modules re-export ``*_reference`` oracles as public API for tests and
+benchmarks to import — the name check exempts ``__init__.py``, while
+the ``_reference``-module check applies everywhere under ``src/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import FileContext, Rule, register
+from repro.analysis.findings import Finding
+
+#: The frozen oracle module's basename.
+ORACLE_MODULE = "_reference"
+
+#: Suffix marking frozen scalar-oracle symbols.
+ORACLE_SUFFIX = "_reference"
+
+
+@register
+class OracleIsolationRule(Rule):
+    """Frozen oracles (``dram/_reference``, ``*_reference`` symbols) are importable only from tests/benchmarks.
+
+    Production ``src/`` code must schedule, count and simulate through
+    the live engine; the frozen references exist exclusively so tests
+    and benchmarks can differentially prove the live paths against
+    them.
+    """
+
+    id = "R001"
+    name = "oracle-isolation"
+    roles = ("src",)
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Flag oracle imports in production code."""
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if ORACLE_MODULE in alias.name.split("."):
+                        yield context.finding(
+                            self, node,
+                            f"import of frozen oracle module "
+                            f"{alias.name!r}: references are test-only "
+                            f"(import them from tests/ or benchmarks/)")
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module.split(".")[-1] == ORACLE_MODULE:
+                    yield context.finding(
+                        self, node,
+                        f"import from frozen oracle module {module!r}: "
+                        f"references are test-only (import them from "
+                        f"tests/ or benchmarks/)")
+                    continue
+                if context.is_package_init:
+                    continue  # public re-export surface (see module doc)
+                for alias in node.names:
+                    if alias.name.endswith(ORACLE_SUFFIX):
+                        yield context.finding(
+                            self, node,
+                            f"import of oracle symbol {alias.name!r}: "
+                            f"*_reference oracles are test-only")

@@ -1,0 +1,192 @@
+"""R003 — unit-suffix discipline: never add picoseconds to picojoules.
+
+The whole simulator runs on suffix-annotated scalars: ``*_ps``/``*_ns``
+timestamps, ``*_pj``/``*_uj`` energies, ``*_mw`` powers,
+``*_bits``/``*_bytes`` sizes.  A silent ``latency_ps + energy_pj``
+produces a perfectly plausible number — R003 flags additive arithmetic
+(``+``, ``-``, ``+=``, ``-=``) and ordering/equality comparisons whose
+two operands carry *different* unit suffixes (mixing units inside one
+family, like ``_ps + _ns``, is just as wrong as mixing families).
+
+Multiplication and division are deliberately exempt: they are exactly
+how units convert (``value_ns * PS_PER_NS``).  Names containing
+``_per_`` (rates) and the ``_s``/``_l`` JEDEC short/long suffixes carry
+no unit.  A lightweight inference pass propagates units through simple
+assignments, ``min``/``max``/``abs``, subscripts and conditionals, so
+``deadline = event.deadline_ps`` keeps its picoseconds.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.analysis.base import FileContext, Rule, register
+from repro.analysis.findings import Finding
+
+#: Known unit suffixes and the family each belongs to (the family only
+#: shapes the message; *any* two distinct units may not meet in
+#: additive arithmetic).
+UNIT_FAMILIES: Dict[str, str] = {
+    "ps": "time", "ns": "time", "us": "time", "ms": "time",
+    "pj": "energy", "nj": "energy", "uj": "energy", "mj": "energy",
+    "mw": "power", "uw": "power",
+    "bits": "data", "bytes": "data",
+    "mtps": "rate",
+}
+
+#: Calls that preserve their arguments' unit.
+_UNIT_PRESERVING_CALLS = frozenset({"min", "max", "abs", "round", "int",
+                                    "float", "sum"})
+
+
+def unit_of_name(identifier: str) -> Optional[str]:
+    """Unit suffix of one identifier, if any.
+
+    ``_per_`` names are rates (no single unit) and bare suffixes
+    without an underscore (like a variable named ``ps``) are ignored.
+    """
+    lower = identifier.lower()
+    if "_per_" in lower or "_" not in lower:
+        return None
+    tail = lower.rsplit("_", 1)[1]
+    return tail if tail in UNIT_FAMILIES else None
+
+
+class _UnitVisitor(ast.NodeVisitor):
+    """Walks one file in source order, inferring units and flagging."""
+
+    def __init__(self, rule: "UnitSuffixRule",
+                 context: FileContext) -> None:
+        self.rule = rule
+        self.context = context
+        self.findings: List[Finding] = []
+        self._scopes: List[Dict[str, Optional[str]]] = [{}]
+
+    # -- unit inference ------------------------------------------------
+
+    def _lookup(self, name: str) -> Optional[str]:
+        unit = unit_of_name(name)
+        if unit is not None:
+            return unit
+        return self._scopes[-1].get(name)
+
+    def unit_of(self, node: ast.AST) -> Optional[str]:
+        """Best-effort unit of one expression."""
+        if isinstance(node, ast.Name):
+            return self._lookup(node.id)
+        if isinstance(node, ast.Attribute):
+            return unit_of_name(node.attr)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in _UNIT_PRESERVING_CALLS:
+                    return self._common_unit(node.args)
+                return unit_of_name(func.id)
+            if isinstance(func, ast.Attribute):
+                return unit_of_name(func.attr)
+            return None
+        if isinstance(node, ast.Subscript):
+            return self.unit_of(node.value)
+        if isinstance(node, ast.UnaryOp):
+            return self.unit_of(node.operand)
+        if isinstance(node, ast.IfExp):
+            return self._common_unit([node.body, node.orelse])
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add,
+                                                                ast.Sub)):
+            left = self.unit_of(node.left)
+            right = self.unit_of(node.right)
+            if left is not None and right is not None:
+                return left if left == right else None
+            return left if left is not None else right
+        return None
+
+    def _common_unit(self, nodes: List[ast.expr]) -> Optional[str]:
+        units = {unit for unit in (self.unit_of(n) for n in nodes)
+                 if unit is not None}
+        return units.pop() if len(units) == 1 else None
+
+    # -- flagging ------------------------------------------------------
+
+    def _flag(self, node: ast.AST, left: ast.AST, right: ast.AST,
+              op: str) -> None:
+        left_unit = self.unit_of(left)
+        right_unit = self.unit_of(right)
+        if left_unit is None or right_unit is None or left_unit == right_unit:
+            return
+        left_family = UNIT_FAMILIES[left_unit]
+        right_family = UNIT_FAMILIES[right_unit]
+        if left_family == right_family:
+            detail = f"both {left_family}, but different units"
+        else:
+            detail = f"{left_family} vs {right_family}"
+        self.findings.append(self.context.finding(
+            self.rule, node,
+            f"unit mismatch: {ast.unparse(left)!r} [{left_unit}] {op} "
+            f"{ast.unparse(right)!r} [{right_unit}] ({detail}) — convert "
+            f"explicitly first"))
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            op = "+" if isinstance(node.op, ast.Add) else "-"
+            self._flag(node, node.left, node.right, op)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for index, op in enumerate(node.ops):
+            if isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE,
+                               ast.Eq, ast.NotEq)):
+                symbol = {ast.Lt: "<", ast.LtE: "<=", ast.Gt: ">",
+                          ast.GtE: ">=", ast.Eq: "==",
+                          ast.NotEq: "!="}[type(op)]
+                self._flag(node, operands[index], operands[index + 1],
+                           symbol)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            op = "+=" if isinstance(node.op, ast.Add) else "-="
+            self._flag(node, node.target, node.value, op)
+        self.generic_visit(node)
+
+    # -- scope and environment upkeep ----------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            name = node.targets[0].id
+            if unit_of_name(name) is None:
+                self._scopes[-1][name] = self.unit_of(node.value)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scopes.append({})
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._scopes.append({})
+        self.generic_visit(node)
+        self._scopes.pop()
+
+
+@register
+class UnitSuffixRule(Rule):
+    """Additive arithmetic and comparisons must not mix unit-suffix families.
+
+    ``_ps``/``_ns``/``_us``/``_ms`` (time), ``_pj``/``_uj`` (energy),
+    ``_mw`` (power), ``_bits``/``_bytes`` (data) only meet through
+    explicit conversion (multiplication/division), never through
+    ``+``/``-``/comparisons.
+    """
+
+    id = "R003"
+    name = "unit-suffix"
+    roles = ("src",)
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Flag unit-mixing arithmetic in production code."""
+        visitor = _UnitVisitor(self, context)
+        visitor.visit(context.tree)
+        for finding in visitor.findings:
+            yield finding

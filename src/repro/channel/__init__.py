@@ -1,5 +1,7 @@
 """Optical LEO downlink channel models (burst errors, FEC framing)."""
 
+from __future__ import annotations
+
 from repro.channel.burst_stats import (
     BurstProfile,
     FrameBurstArrays,

@@ -11,9 +11,10 @@ the same number of errors almost uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Any, Dict, List
 
 import numpy as np
+from numpy.typing import NDArray
 
 
 @dataclass(frozen=True)
@@ -42,7 +43,7 @@ class BurstProfile:
         return self.error_symbols / self.total_symbols
 
 
-def burst_profile(mask: np.ndarray) -> BurstProfile:
+def burst_profile(mask: NDArray[np.bool_]) -> BurstProfile:
     """Compute the :class:`BurstProfile` of a boolean error mask."""
     mask = np.asarray(mask, dtype=bool)
     total = int(mask.size)
@@ -63,7 +64,7 @@ def burst_profile(mask: np.ndarray) -> BurstProfile:
     )
 
 
-def run_length_histogram(mask: np.ndarray) -> Dict[int, int]:
+def run_length_histogram(mask: NDArray[np.bool_]) -> Dict[int, int]:
     """Histogram of error-run lengths in a boolean mask."""
     mask = np.asarray(mask, dtype=bool)
     if not mask.any():
@@ -75,7 +76,8 @@ def run_length_histogram(mask: np.ndarray) -> Dict[int, int]:
     return {int(v): int(c) for v, c in zip(values, counts)}
 
 
-def errors_per_codeword(mask: np.ndarray, codeword_symbols: int) -> np.ndarray:
+def errors_per_codeword(mask: NDArray[np.bool_],
+                        codeword_symbols: int) -> NDArray[Any]:
     """Number of corrupted symbols in each full code word.
 
     Args:
@@ -90,10 +92,13 @@ def errors_per_codeword(mask: np.ndarray, codeword_symbols: int) -> np.ndarray:
     full = mask.size // codeword_symbols
     if full == 0:
         return np.zeros(0, dtype=np.int64)
-    return mask[: full * codeword_symbols].reshape(full, codeword_symbols).sum(axis=1)
+    counts: NDArray[Any] = mask[: full * codeword_symbols].reshape(
+        full, codeword_symbols).sum(axis=1)
+    return counts
 
 
-def errors_per_codeword_frames(masks: np.ndarray, codeword_symbols: int) -> np.ndarray:
+def errors_per_codeword_frames(masks: NDArray[np.bool_],
+                               codeword_symbols: int) -> NDArray[Any]:
     """Batched :func:`errors_per_codeword` over stacked frame masks.
 
     Args:
@@ -115,10 +120,12 @@ def errors_per_codeword_frames(masks: np.ndarray, codeword_symbols: int) -> np.n
     if full == 0:
         return np.zeros((frames, 0), dtype=np.int64)
     trimmed = masks[:, : full * codeword_symbols]
-    return trimmed.reshape(frames, full, codeword_symbols).sum(axis=2, dtype=np.int64)
+    counts: NDArray[Any] = trimmed.reshape(
+        frames, full, codeword_symbols).sum(axis=2, dtype=np.int64)
+    return counts
 
 
-def frame_burst_profiles(masks: np.ndarray) -> List[BurstProfile]:
+def frame_burst_profiles(masks: NDArray[np.bool_]) -> List[BurstProfile]:
     """Per-frame :class:`BurstProfile` of stacked masks, in one pass.
 
     Rows of ``masks`` are independent frames: a burst never spans two
@@ -153,10 +160,10 @@ class FrameBurstArrays:
     """
 
     symbols: int
-    error_counts: np.ndarray
-    burst_counts: np.ndarray
-    max_lengths: np.ndarray
-    mean_lengths: np.ndarray
+    error_counts: NDArray[Any]
+    burst_counts: NDArray[Any]
+    max_lengths: NDArray[Any]
+    mean_lengths: NDArray[Any]
 
     @property
     def frames(self) -> int:
@@ -177,7 +184,7 @@ class FrameBurstArrays:
         ]
 
 
-def frame_burst_arrays(frame_idx: np.ndarray, sym_idx: np.ndarray,
+def frame_burst_arrays(frame_idx: NDArray[Any], sym_idx: NDArray[Any],
                        frames: int, symbols: int) -> FrameBurstArrays:
     """Per-frame burst statistics from sorted sparse error positions.
 
@@ -213,13 +220,14 @@ def frame_burst_arrays(frame_idx: np.ndarray, sym_idx: np.ndarray,
                             mean_lengths)
 
 
-def burst_profiles_from_positions(frame_idx: np.ndarray, sym_idx: np.ndarray,
-                                  frames: int, symbols: int) -> List[BurstProfile]:
+def burst_profiles_from_positions(frame_idx: NDArray[Any],
+                                  sym_idx: NDArray[Any], frames: int,
+                                  symbols: int) -> List[BurstProfile]:
     """Per-frame burst profiles from sorted sparse error positions."""
     return frame_burst_arrays(frame_idx, sym_idx, frames, symbols).profiles()
 
 
-def codeword_failure_rate(mask: np.ndarray, codeword_symbols: int,
+def codeword_failure_rate(mask: NDArray[np.bool_], codeword_symbols: int,
                           correctable: int) -> float:
     """Fraction of code words with more than ``correctable`` errors."""
     counts = errors_per_codeword(mask, codeword_symbols)
@@ -228,7 +236,8 @@ def codeword_failure_rate(mask: np.ndarray, codeword_symbols: int,
     return float((counts > correctable).mean())
 
 
-def dispersion_gain(raw_mask: np.ndarray, deinterleaved_mask: np.ndarray,
+def dispersion_gain(raw_mask: NDArray[np.bool_],
+                    deinterleaved_mask: NDArray[np.bool_],
                     codeword_symbols: int, correctable: int) -> float:
     """Ratio of code-word failure rates without/with interleaving.
 
@@ -243,17 +252,19 @@ def dispersion_gain(raw_mask: np.ndarray, deinterleaved_mask: np.ndarray,
     return raw / spread
 
 
-def worst_window_errors(mask: np.ndarray, window: int) -> int:
+def worst_window_errors(mask: NDArray[np.bool_], window: int) -> int:
     """Maximum number of errors in any sliding window of given size."""
     if window < 1:
         raise ValueError(f"window must be >= 1, got {window}")
-    mask = np.asarray(mask, dtype=np.int64)
-    if mask.size < window:
-        return int(mask.sum())
-    cumulative = np.concatenate(([0], np.cumsum(mask)))
+    hits = np.asarray(mask, dtype=np.int64)
+    if hits.size < window:
+        return int(hits.sum())
+    cumulative = np.concatenate(([0], np.cumsum(hits)))
     return int((cumulative[window:] - cumulative[:-window]).max())
 
 
-def spread_positions(mask: np.ndarray) -> List[int]:
+def spread_positions(mask: NDArray[np.bool_]) -> List[int]:
     """Indices of corrupted symbols (small helper for tests/examples)."""
-    return np.flatnonzero(np.asarray(mask, dtype=bool)).tolist()
+    positions: List[int] = np.flatnonzero(
+        np.asarray(mask, dtype=bool)).tolist()
+    return positions

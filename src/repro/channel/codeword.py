@@ -12,10 +12,10 @@ that interleaver fast enough.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, List
 
 import numpy as np
-
-from typing import List
+from numpy.typing import NDArray
 
 from repro.channel.burst_stats import errors_per_codeword, errors_per_codeword_frames
 
@@ -76,7 +76,8 @@ class DecodingReport:
         return self.failed == 0
 
 
-def report_from_counts(counts: np.ndarray, config: CodewordConfig) -> DecodingReport:
+def report_from_counts(counts: NDArray[Any],
+                       config: CodewordConfig) -> DecodingReport:
     """Aggregate decoding report from per-code-word error counts.
 
     The single home of the bounded-distance failure criterion
@@ -99,7 +100,8 @@ def report_from_counts(counts: np.ndarray, config: CodewordConfig) -> DecodingRe
     )
 
 
-def decode_mask(mask: np.ndarray, config: CodewordConfig) -> DecodingReport:
+def decode_mask(mask: NDArray[np.bool_],
+                config: CodewordConfig) -> DecodingReport:
     """Decode an error mask: which code words survive?
 
     Args:
@@ -110,7 +112,8 @@ def decode_mask(mask: np.ndarray, config: CodewordConfig) -> DecodingReport:
     return report_from_counts(errors_per_codeword(mask, config.n_symbols), config)
 
 
-def decode_masks(masks: np.ndarray, config: CodewordConfig) -> List[DecodingReport]:
+def decode_masks(masks: NDArray[np.bool_],
+                 config: CodewordConfig) -> List[DecodingReport]:
     """Batched :func:`decode_mask` over stacked frame masks.
 
     Args:

@@ -20,9 +20,10 @@ rate are exposed in closed form for test cross-checks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 GOOD = 0
 BAD = 1
@@ -112,13 +113,13 @@ class GilbertElliottChannel:
     """
 
     def __init__(self, params: GilbertElliottParams,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None) -> None:
         self.params = params
         self.rng = rng or np.random.default_rng()
         self._state = BAD if self.rng.random() < params.stationary_bad else GOOD
-        self._batch_buffers = None  # (shape, fades, draws) scratch reuse
+        self._batch_buffers: Optional[Tuple[Tuple[int, int], NDArray[np.bool_], NDArray[np.float64]]] = None  # (shape, fades, draws) scratch reuse
 
-    def _fill_state_row(self, row: np.ndarray) -> None:
+    def _fill_state_row(self, row: NDArray[np.bool_]) -> None:
         """Fill ``row`` with one frame's fade mask, advancing the chain.
 
         This is the sampling core shared by the scalar and the batched
@@ -143,7 +144,7 @@ class GilbertElliottChannel:
             state = BAD if state == GOOD else GOOD
         self._state = state
 
-    def state_mask(self, count: int) -> np.ndarray:
+    def state_mask(self, count: int) -> NDArray[np.bool_]:
         """Boolean array: ``True`` where the channel is in a fade."""
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
@@ -151,7 +152,7 @@ class GilbertElliottChannel:
         self._fill_state_row(mask)
         return mask
 
-    def state_masks(self, count: int, frames: int) -> np.ndarray:
+    def state_masks(self, count: int, frames: int) -> NDArray[np.bool_]:
         """Fade masks for ``frames`` consecutive frames, shape ``(frames, count)``.
 
         Row ``f`` is bit-identical to the ``f``-th sequential
@@ -168,15 +169,18 @@ class GilbertElliottChannel:
             self._fill_state_row(masks[f])
         return masks
 
-    def error_mask(self, count: int) -> np.ndarray:
+    def error_mask(self, count: int) -> NDArray[np.bool_]:
         """Boolean array: ``True`` where a symbol is corrupted."""
         params = self.params
         fades = self.state_mask(count)
         draws = self.rng.random(count)
         probabilities = np.where(fades, params.p_bad, params.p_good)
-        return draws < probabilities
+        errors: NDArray[np.bool_] = draws < probabilities
+        return errors
 
-    def _sample_batch(self, count: int, frames: int):
+    def _sample_batch(
+            self, count: int,
+            frames: int) -> Tuple[NDArray[np.bool_], NDArray[np.float64]]:
         """Fade masks and uniform draws for a frame batch (shared core).
 
         RNG consumption is frame-sequential — geometric dwells, then the
@@ -206,7 +210,8 @@ class GilbertElliottChannel:
                 self.rng.random(out=draws[f])
         return fades, draws
 
-    def _combine_errors(self, fades: np.ndarray, draws: np.ndarray) -> np.ndarray:
+    def _combine_errors(self, fades: NDArray[np.bool_],
+                        draws: NDArray[np.float64]) -> NDArray[np.bool_]:
         """Error mask from fade mask + uniforms, in boolean space.
 
         Same predicate as error_mask's ``draws < where(fades, p_bad,
@@ -223,7 +228,7 @@ class GilbertElliottChannel:
             errors |= good_hits
         return errors
 
-    def error_masks(self, count: int, frames: int) -> np.ndarray:
+    def error_masks(self, count: int, frames: int) -> NDArray[np.bool_]:
         """Error masks for ``frames`` consecutive frames, shape ``(frames, count)``.
 
         The batched form of :meth:`error_mask`: row ``f`` is
@@ -235,7 +240,9 @@ class GilbertElliottChannel:
         fades, draws = self._sample_batch(count, frames)
         return self._combine_errors(fades, draws)
 
-    def error_positions(self, count: int, frames: int):
+    def error_positions(
+            self, count: int,
+            frames: int) -> Tuple[NDArray[Any], NDArray[Any]]:
         """Sparse coordinates of corrupted symbols across a frame batch.
 
         Returns ``(frame_idx, sym_idx)`` arrays in row-major order,
@@ -251,9 +258,11 @@ class GilbertElliottChannel:
             frame_idx, sym_idx = np.nonzero(fades)
             hits = draws[frame_idx, sym_idx] < params.p_bad
             return frame_idx[hits], sym_idx[hits]
-        return np.nonzero(self._combine_errors(fades, draws))
+        frame_idx, sym_idx = np.nonzero(self._combine_errors(fades, draws))
+        return frame_idx, sym_idx
 
-    def corrupt(self, symbols: np.ndarray, bits_per_symbol: int = 3) -> np.ndarray:
+    def corrupt(self, symbols: NDArray[Any],
+                bits_per_symbol: int = 3) -> NDArray[Any]:
         """Apply the channel to a symbol stream.
 
         Corrupted symbols are XOR-flipped with a uniformly random

@@ -14,6 +14,7 @@ Commands:
 * ``provision`` — size a DRAM system for a target line rate
 * ``trace``     — record a phase's command trace and replay-check it
 * ``configs``   — list the built-in device configurations
+* ``lint``      — run the repo-specific static analyzer (R001–R006)
 
 Simulation grids (``table1``, ``mixed``, ``ablation``, ``energy``,
 ``e2e``)
@@ -28,8 +29,9 @@ the CLI is scriptable from shell pipelines.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
@@ -73,13 +75,13 @@ from repro.viz import (
 )
 
 
-def _add_jobs_argument(parser) -> None:
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the simulation grid "
                              "(0 = all cores, default 1 = serial)")
 
 
-def _add_table1(subparsers) -> None:
+def _add_table1(subparsers: Any) -> None:
     parser = subparsers.add_parser("table1", help="regenerate Table I")
     parser.add_argument("--n", type=int, default=256,
                         help="triangle dimension (default 256)")
@@ -91,7 +93,7 @@ def _add_table1(subparsers) -> None:
     parser.set_defaults(func=_cmd_table1)
 
 
-def _cmd_table1(args) -> int:
+def _cmd_table1(args: argparse.Namespace) -> int:
     names = tuple(args.configs) if args.configs else TABLE1_CONFIG_NAMES
     unknown = set(names) - set(TABLE1_CONFIG_NAMES)
     if unknown:
@@ -103,7 +105,7 @@ def _cmd_table1(args) -> int:
     return 0
 
 
-def _add_mixed(subparsers) -> None:
+def _add_mixed(subparsers: Any) -> None:
     parser = subparsers.add_parser(
         "mixed",
         help="steady-state interleaved read/write utilization (single device)")
@@ -120,7 +122,7 @@ def _add_mixed(subparsers) -> None:
     parser.set_defaults(func=_cmd_mixed)
 
 
-def _cmd_mixed(args) -> int:
+def _cmd_mixed(args: argparse.Namespace) -> int:
     names = tuple(args.configs) if args.configs else TABLE1_CONFIG_NAMES
     unknown = set(names) - set(TABLE1_CONFIG_NAMES)
     if unknown:
@@ -136,7 +138,7 @@ def _cmd_mixed(args) -> int:
     return 0
 
 
-def _add_ablation(subparsers) -> None:
+def _add_ablation(subparsers: Any) -> None:
     parser = subparsers.add_parser(
         "ablation", help="ablate the three mapping optimizations (Sec. II)")
     parser.add_argument("--n", type=int, default=256,
@@ -149,7 +151,7 @@ def _add_ablation(subparsers) -> None:
     parser.set_defaults(func=_cmd_ablation)
 
 
-def _cmd_ablation(args) -> int:
+def _cmd_ablation(args: argparse.Namespace) -> int:
     names = tuple(args.configs) if args.configs else ("DDR4-3200", "LPDDR4-4266")
     unknown = set(names) - set(TABLE1_CONFIG_NAMES)
     if unknown:
@@ -172,7 +174,7 @@ def _cmd_ablation(args) -> int:
     return 0
 
 
-def _add_energy(subparsers) -> None:
+def _add_energy(subparsers: Any) -> None:
     parser = subparsers.add_parser(
         "energy",
         help="per-frame energy accounting and the provisioning Pareto chart")
@@ -192,7 +194,7 @@ def _add_energy(subparsers) -> None:
     parser.set_defaults(func=_cmd_energy)
 
 
-def _cmd_energy(args) -> int:
+def _cmd_energy(args: argparse.Namespace) -> int:
     names = tuple(args.configs) if args.configs else TABLE1_CONFIG_NAMES
     unknown = set(names) - set(TABLE1_CONFIG_NAMES)
     if unknown:
@@ -217,7 +219,7 @@ def _cmd_energy(args) -> int:
     return 0
 
 
-def _add_fig1(subparsers) -> None:
+def _add_fig1(subparsers: Any) -> None:
     parser = subparsers.add_parser("fig1", help="render the Fig. 1 panels")
     parser.add_argument("--size", type=int, default=8,
                         help="index-space excerpt size (default 8)")
@@ -227,7 +229,7 @@ def _add_fig1(subparsers) -> None:
     parser.set_defaults(func=_cmd_fig1)
 
 
-def _cmd_fig1(args) -> int:
+def _cmd_fig1(args: argparse.Namespace) -> int:
     if args.config:
         try:
             geometry = get_config(args.config).geometry
@@ -243,7 +245,7 @@ def _cmd_fig1(args) -> int:
     return 0
 
 
-def _add_downlink(subparsers) -> None:
+def _add_downlink(subparsers: Any) -> None:
     parser = subparsers.add_parser(
         "downlink", help="optical-downlink reliability with/without interleaving")
     parser.add_argument("--frames", type=int, default=40)
@@ -255,7 +257,7 @@ def _add_downlink(subparsers) -> None:
     parser.set_defaults(func=_cmd_downlink)
 
 
-def _cmd_downlink(args) -> int:
+def _cmd_downlink(args: argparse.Namespace) -> int:
     if args.fade_symbols <= 1 or not 0 < args.fade_fraction < 1:
         print("error: fade-symbols must be >1 and fade-fraction in (0,1)",
               file=sys.stderr)
@@ -279,11 +281,11 @@ def _cmd_downlink(args) -> int:
     print(f"code-word failures with    interleaver: {result.interleaved.failed}"
           f" / {result.interleaved.codewords}")
     gain = result.gain
-    print(f"gain: {'inf' if gain == float('inf') else f'{gain:.1f}x'}")
+    print(f"gain: {'inf' if math.isinf(gain) else f'{gain:.1f}x'}")
     return 0
 
 
-def _add_campaign(subparsers) -> None:
+def _add_campaign(subparsers: Any) -> None:
     parser = subparsers.add_parser(
         "campaign",
         help="Monte Carlo downlink campaign over a (fade x geometry x seed) grid")
@@ -325,7 +327,7 @@ def _add_campaign(subparsers) -> None:
     parser.set_defaults(func=_cmd_campaign)
 
 
-def _cmd_campaign(args) -> int:
+def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.seeds < 1 or args.frames < 1:
         print("error: --seeds and --frames must be >= 1", file=sys.stderr)
         return 2
@@ -371,7 +373,7 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
-def _add_e2e(subparsers) -> None:
+def _add_e2e(subparsers: Any) -> None:
     parser = subparsers.add_parser(
         "e2e",
         help="joint downlink -> DRAM co-simulation: FER, utilization, "
@@ -404,7 +406,7 @@ def _add_e2e(subparsers) -> None:
     parser.set_defaults(func=_cmd_e2e)
 
 
-def _cmd_e2e(args) -> int:
+def _cmd_e2e(args: argparse.Namespace) -> int:
     names = tuple(args.configs) if args.configs else TABLE1_CONFIG_NAMES
     unknown = set(names) - set(TABLE1_CONFIG_NAMES)
     if unknown:
@@ -436,7 +438,7 @@ def _cmd_e2e(args) -> int:
     return 0
 
 
-def _add_provision(subparsers) -> None:
+def _add_provision(subparsers: Any) -> None:
     parser = subparsers.add_parser(
         "provision", help="size a DRAM system for a target line rate")
     parser.add_argument("--target-gbit", type=float, default=100.0)
@@ -445,7 +447,7 @@ def _add_provision(subparsers) -> None:
     parser.set_defaults(func=_cmd_provision)
 
 
-def _cmd_provision(args) -> int:
+def _cmd_provision(args: argparse.Namespace) -> int:
     if args.target_gbit <= 0:
         print("error: target-gbit must be positive", file=sys.stderr)
         return 2
@@ -473,7 +475,7 @@ def _cmd_provision(args) -> int:
     return 0
 
 
-def _add_trace(subparsers) -> None:
+def _add_trace(subparsers: Any) -> None:
     parser = subparsers.add_parser(
         "trace",
         help="record a phase's DRAM command trace, dump it, replay-check it")
@@ -496,7 +498,7 @@ def _add_trace(subparsers) -> None:
     parser.set_defaults(func=_cmd_trace)
 
 
-def _cmd_trace(args) -> int:
+def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.dram.engine import SchedulingEngine, TraceReplaySource
     from repro.dram.simulator import simulate_phase_result
     from repro.dram.trace import check_phase_commands, read_trace, write_trace
@@ -558,12 +560,38 @@ def _cmd_trace(args) -> int:
     return 1 if violations else 0
 
 
-def _add_configs(subparsers) -> None:
+def _add_lint(subparsers: Any) -> None:
+    parser = subparsers.add_parser(
+        "lint",
+        help="run the repo-specific static analyzer (proof-discipline "
+             "rules R001-R006)")
+    parser.add_argument("paths", nargs="*", default=["src"], metavar="PATH",
+                        help="files/directories to analyze (default: src)")
+    parser.add_argument("--select", nargs="*", metavar="RULE",
+                        help="subset of rule ids to run (default: all)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable JSON report")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.set_defaults(func=_cmd_lint)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import list_rules_text, run_lint
+
+    if args.list_rules:
+        print(list_rules_text())
+        return 0
+    select = tuple(args.select) if args.select else None
+    return run_lint(args.paths, select=select, json_output=args.json)
+
+
+def _add_configs(subparsers: Any) -> None:
     parser = subparsers.add_parser("configs", help="list device configurations")
     parser.set_defaults(func=_cmd_configs)
 
 
-def _cmd_configs(_args) -> int:
+def _cmd_configs(_args: argparse.Namespace) -> int:
     print(f"{'name':14s} {'banks':>5s} {'groups':>6s} {'page':>6s} "
           f"{'burst':>6s} {'peak':>11s} {'refresh':>9s}")
     for config in all_configs():
@@ -593,6 +621,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_provision(subparsers)
     _add_trace(subparsers)
     _add_configs(subparsers)
+    _add_lint(subparsers)
     return parser
 
 

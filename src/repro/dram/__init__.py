@@ -14,6 +14,8 @@ Public surface:
 * :class:`~repro.dram.stats.PhaseStats` — results.
 """
 
+from __future__ import annotations
+
 from repro.dram.address import DramAddress, LinearDecoder
 from repro.dram.commands import CommandType, ScheduledCommand
 from repro.dram.energy import (

@@ -22,7 +22,11 @@ from __future__ import annotations
 
 from collections import deque
 from itertools import chain
-from typing import Deque, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Deque, Iterator, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:
+    from repro.dram.controller import ControllerConfig, PhaseResult
+    from repro.dram.mixed import MixedResult
 
 from repro.dram.commands import CommandType, ScheduledCommand
 from repro.dram.presets import REFRESH_ALL_BANK, DramConfig
@@ -36,16 +40,18 @@ OP_READ = "RD"
 OP_WRITE = "WR"
 
 
-def _as_list(values) -> List[int]:
+def _as_list(values: Any) -> List[int]:
     """Bulk-convert one chunk column to a plain Python list."""
     tolist = getattr(values, "tolist", None)
     if tolist is not None:
-        return tolist()
+        converted: List[int] = tolist()
+        return converted
     return list(values)
 
 
-def reference_run_phase(config: DramConfig, requests, op: str = OP_READ,
-                        policy=None):
+def reference_run_phase(config: DramConfig, requests: Any, op: str = OP_READ,
+                        policy: Optional[ControllerConfig] = None
+                        ) -> PhaseResult:
     """The seed homogeneous-phase scheduler, frozen.
 
     Accepts the same (tuple-iterable or columnar-chunk) request streams
@@ -102,8 +108,8 @@ def reference_run_phase(config: DramConfig, requests, op: str = OP_READ,
     last_data_end = 0
 
     fifos: List[Deque[Tuple[int, int, int]]] = [deque() for _ in range(n_banks)]
-    pending: set = set()
-    ready: set = set()
+    pending: Set[int] = set()
+    ready: Set[int] = set()
     queued = 0
     seq = 0
     order_seq: Deque[int] = deque()
@@ -503,7 +509,9 @@ def reference_run_phase(config: DramConfig, requests, op: str = OP_READ,
     return PhaseResult(stats=stats, commands=commands)
 
 
-def reference_run_mixed_phase(config: DramConfig, requests, policy=None):
+def reference_run_mixed_phase(config: DramConfig, requests: Any,
+                              policy: Optional[ControllerConfig] = None
+                              ) -> MixedResult:
     """The seed mixed read/write scheduler, frozen.
 
     Same signature and result as the pre-engine

@@ -28,7 +28,7 @@ behave.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Tuple
 
 from repro.dram.geometry import Geometry
 
@@ -84,7 +84,8 @@ class LinearDecoder:
             groups so one scheme string works across standards.
     """
 
-    def __init__(self, geometry: Geometry, scheme: str = DEFAULT_SCHEME):
+    def __init__(self, geometry: Geometry,
+                 scheme: str = DEFAULT_SCHEME) -> None:
         self.geometry = geometry
         self.scheme = scheme
         tokens = scheme.split()
@@ -142,7 +143,7 @@ class LinearDecoder:
         """Decode a sequence of burst indices."""
         return [self.decode(index) for index in burst_indices]
 
-    def decode_arrays(self, burst_indices):
+    def decode_arrays(self, burst_indices: Any) -> Tuple[Any, Any, Any]:
         """Vectorized :meth:`decode` over an array of burst indices.
 
         Args:
@@ -165,7 +166,7 @@ class LinearDecoder:
             raise ValueError(
                 f"burst indices out of range [0, {self.total_bursts})"
             )
-        values = {}
+        values: Dict[str, Any] = {}
         for token, shift, mask in self._fields:
             values[token] = (indices >> shift) & mask
         bank = values["Ba"] * self.geometry.bank_groups + values["Bg"]

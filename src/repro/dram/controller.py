@@ -147,7 +147,8 @@ class MemoryController:
     refactor.
     """
 
-    def __init__(self, config: DramConfig, policy: Optional[ControllerConfig] = None):
+    def __init__(self, config: DramConfig,
+                 policy: Optional[ControllerConfig] = None) -> None:
         self.config = config
         self.policy = policy or ControllerConfig()
         self._engine = SchedulingEngine(config, self.policy)

@@ -45,9 +45,10 @@ energies once, so float summation order can never make them disagree.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.dram.commands import CommandType, ScheduledCommand
 from repro.dram.presets import REFRESH_PER_BANK, DramConfig
@@ -243,7 +244,7 @@ def _build_report(config: DramConfig, params: EnergyParams, act_pre: int,
 
 
 def phase_energy(config: DramConfig, stats: PhaseStats, op: str = "RD",
-                 params: EnergyParams = None) -> EnergyReport:
+                 params: Optional[EnergyParams] = None) -> EnergyReport:
     """Energy of one phase from its statistics.
 
     Args:
@@ -267,7 +268,7 @@ def phase_energy(config: DramConfig, stats: PhaseStats, op: str = "RD",
 
 
 def energy_from_tally(config: DramConfig, tally: EnergyTally,
-                      params: EnergyParams = None) -> EnergyReport:
+                      params: Optional[EnergyParams] = None) -> EnergyReport:
     """Energy of one phase from the engine's integer command tallies.
 
     This is the zero-cost production path: the scheduling engine fills
@@ -293,7 +294,7 @@ _CODE_OF: Dict[CommandType, int] = {
 }
 
 #: A command list lowered to columnar arrays: (codes int8, times int64).
-CommandArrays = Tuple[np.ndarray, np.ndarray]
+CommandArrays = Tuple[NDArray[Any], NDArray[Any]]
 
 
 def command_arrays(commands: Sequence[ScheduledCommand]) -> CommandArrays:
@@ -311,7 +312,8 @@ def command_arrays(commands: Sequence[ScheduledCommand]) -> CommandArrays:
     return codes, times
 
 
-def _trace_makespan(config: DramConfig, rd_times, wr_times) -> int:
+def _trace_makespan(config: DramConfig, rd_times: NDArray[Any],
+                    wr_times: NDArray[Any]) -> int:
     """End of the last data burst implied by the CAS issue times.
 
     Data-burst ends are strictly increasing in issue order (the bus is
@@ -333,7 +335,7 @@ def _trace_makespan(config: DramConfig, rd_times, wr_times) -> int:
 def energy_from_commands(
     config: DramConfig,
     commands: Union[Sequence[ScheduledCommand], CommandArrays],
-    params: EnergyParams = None,
+    params: Optional[EnergyParams] = None,
 ) -> EnergyReport:
     """Vectorized energy recount over a recorded command stream.
 
@@ -380,7 +382,7 @@ def energy_from_commands(
 def energy_from_commands_reference(
     config: DramConfig,
     commands: Iterable[ScheduledCommand],
-    params: EnergyParams = None,
+    params: Optional[EnergyParams] = None,
 ) -> EnergyReport:
     """Scalar per-command recount — the readable oracle.
 
@@ -433,7 +435,7 @@ def combine_interleaver_reports(write: EnergyReport,
 
 
 def interleaver_energy(config: DramConfig, write: PhaseStats, read: PhaseStats,
-                       params: EnergyParams = None) -> EnergyReport:
+                       params: Optional[EnergyParams] = None) -> EnergyReport:
     """Combined write+read energy of one interleaver frame."""
     return combine_interleaver_reports(
         phase_energy(config, write, "WR", params),

@@ -46,15 +46,21 @@ import bisect
 import heapq
 from dataclasses import dataclass, field
 from itertools import chain, islice
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from operator import itemgetter
+from typing import (TYPE_CHECKING, Any, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple)
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.dram.bank import BankSnapshot
 from repro.dram.commands import CAS_COMMANDS, CommandType, ScheduledCommand
 from repro.dram.presets import REFRESH_ALL_BANK, DramConfig
 from repro.dram.refresh import RefreshScheduler
 from repro.dram.stats import EnergyTally, PhaseStats
+
+if TYPE_CHECKING:
+    from repro.dram.controller import ControllerConfig
 
 #: Operation kinds for homogeneous sources (shared with the controller).
 OP_READ = "RD"
@@ -63,6 +69,11 @@ OP_WRITE = "WR"
 _FAR_PAST = -(10**15)
 _FAR_FUTURE = 10**18
 
+# Sort key committing deferred activations in ascending bank order
+# (heap entries are ``(act_ready, bank, t_pre, is_empty, row)``);
+# module-level so the arbiter loop never rebuilds a closure.
+_ENTRY_BANK = itemgetter(1)
+
 #: Requests buffered per batch when normalizing per-element streams.
 _STREAM_BATCH = 1024
 
@@ -70,11 +81,12 @@ _STREAM_BATCH = 1024
 _NUMPY_PARTITION_MIN = 64
 
 
-def _as_list(values) -> List[int]:
+def _as_list(values: Any) -> List[int]:
     """Bulk-convert one batch column to a plain Python list."""
     tolist = getattr(values, "tolist", None)
     if tolist is not None:
-        return tolist()
+        converted: List[int] = tolist()
+        return converted
     return list(values)
 
 
@@ -116,7 +128,7 @@ class WorkloadSource(abc.ABC):
 class TupleSource(WorkloadSource):
     """``(bank, row, column)`` tuples — the per-element reference shape."""
 
-    def __init__(self, requests: Iterable[Tuple[int, int, int]]):
+    def __init__(self, requests: Iterable[Tuple[int, int, int]]) -> None:
         self._requests = requests
 
     def batches(self) -> Iterator[Batch]:
@@ -138,7 +150,10 @@ class ChunkSource(WorkloadSource):
     the engine bulk-converts and partitions them per bank.
     """
 
-    def __init__(self, chunks: Iterable[Tuple[Sequence, Sequence, Sequence]]):
+    def __init__(
+            self,
+            chunks: Iterable[Tuple[Sequence[int], Sequence[int],
+                                   Sequence[int]]]) -> None:
         self._chunks = chunks
 
     def batches(self) -> Iterator[Batch]:
@@ -152,7 +167,7 @@ class MixedSource(WorkloadSource):
 
     mixed = True
 
-    def __init__(self, requests: Iterable[Tuple[bool, int, int, int]]):
+    def __init__(self, requests: Iterable[Tuple[bool, int, int, int]]) -> None:
         self._requests = requests
 
     def batches(self) -> Iterator[Batch]:
@@ -181,7 +196,7 @@ class TraceReplaySource(WorkloadSource):
 
     mixed = True
 
-    def __init__(self, commands: Iterable[ScheduledCommand]):
+    def __init__(self, commands: Iterable[ScheduledCommand]) -> None:
         self._commands = commands
 
     def batches(self) -> Iterator[Batch]:
@@ -211,7 +226,7 @@ def trace_requests(
                command.row, command.column)
 
 
-def as_workload(requests) -> WorkloadSource:
+def as_workload(requests: Any) -> WorkloadSource:
     """Normalize ``run_phase``-style input into a :class:`WorkloadSource`.
 
     Accepts a ready-made source (returned unchanged), an iterable of
@@ -273,7 +288,7 @@ class SchedulingEngine:
             :class:`~repro.dram.controller.ControllerConfig`.
     """
 
-    def __init__(self, config: DramConfig, policy):
+    def __init__(self, config: DramConfig, policy: ControllerConfig) -> None:
         self.config = config
         self.policy = policy
         geometry = config.geometry
@@ -487,7 +502,8 @@ class SchedulingEngine:
                 loaded += m
                 return True
 
-        def _partition_numpy(banks_arr, rows_col, cols_col) -> None:
+        def _partition_numpy(banks_arr: NDArray[Any], rows_col: Any,
+                             cols_col: Any) -> None:
             """Bulk per-bank partition of one columnar chunk."""
             m = len(banks_arr)
             lo = int(banks_arr.min())
@@ -518,7 +534,8 @@ class SchedulingEngine:
                 seqs_q[b].extend(seq_sorted[s:e].tolist())
             bank_stream.extend(banks_arr.tolist())
 
-        def _partition_python(banks_col, rows_col, cols_col, dirs_col) -> None:
+        def _partition_python(banks_col: Any, rows_col: Any, cols_col: Any,
+                              dirs_col: Any) -> None:
             """Per-element partition (small or direction-carrying batches)."""
             banks = _as_list(banks_col)
             rows = _as_list(rows_col)
@@ -565,6 +582,10 @@ class SchedulingEngine:
 
         # Cached refresh deadline: it only moves when an event fires.
         deadline = refresh.next_deadline_ps
+
+        # Reused scratch list for multi-entry deferred commits; hoisted
+        # so the arbiter loop never allocates a container per iteration.
+        commit_buf: List[Tuple[int, int, int, bool, Optional[int]]] = []
 
         while queued:
             # ---- refresh ---------------------------------------------------
@@ -672,10 +693,13 @@ class SchedulingEngine:
                 if defer_heap[0][0] <= bus_free:
                     entry = heappop(defer_heap)
                     if defer_heap and defer_heap[0][0] <= bus_free:
-                        committable = [entry, heappop(defer_heap)]
+                        del commit_buf[:]
+                        commit_buf.append(entry)
+                        commit_buf.append(heappop(defer_heap))
                         while defer_heap and defer_heap[0][0] <= bus_free:
-                            committable.append(heappop(defer_heap))
-                        committable.sort(key=lambda e: e[1])
+                            commit_buf.append(heappop(defer_heap))
+                        commit_buf.sort(key=_ENTRY_BANK)
+                        committable = commit_buf
                     else:
                         committable = (entry,)
                 elif not ready_order:

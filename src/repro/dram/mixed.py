@@ -99,7 +99,7 @@ class RowShiftedMapping(InterleaverMapping):
     the two streams never share pages.
     """
 
-    def __init__(self, inner: InterleaverMapping, row_offset: int):
+    def __init__(self, inner: InterleaverMapping, row_offset: int) -> None:
         super().__init__(inner.space, inner.geometry)
         if row_offset < 0:
             raise ValueError(f"row_offset must be >= 0, got {row_offset}")
@@ -112,7 +112,7 @@ class RowShiftedMapping(InterleaverMapping):
                 f"but the device has {inner.geometry.rows}"
             )
 
-    def address_tuple(self, i: int, j: int):
+    def address_tuple(self, i: int, j: int) -> Tuple[int, int, int]:
         """The inner mapping's address, shifted ``row_offset`` rows up."""
         bank, row, column = self.inner.address_tuple(i, j)
         return bank, row + self.row_offset, column

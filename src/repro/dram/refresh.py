@@ -51,7 +51,7 @@ class RefreshScheduler:
         enabled: when ``False``, :meth:`due` never fires.
     """
 
-    def __init__(self, config: DramConfig, enabled: bool = True):
+    def __init__(self, config: DramConfig, enabled: bool = True) -> None:
         self.config = config
         self.enabled = enabled
         self._interval = config.timing.trefi

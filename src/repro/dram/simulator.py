@@ -8,7 +8,7 @@ that the paper's Table I reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.dram.controller import (
     OP_READ,
@@ -20,6 +20,9 @@ from repro.dram.controller import (
 from repro.dram.presets import DramConfig
 from repro.dram.stats import PhaseStats, min_phase_utilization
 from repro.mapping.base import InterleaverMapping
+
+if TYPE_CHECKING:
+    from repro.dram.mixed import MixedResult
 
 
 @dataclass(frozen=True)
@@ -154,7 +157,7 @@ def simulate_mixed_interleaver(
     mapping: InterleaverMapping,
     group: int = 16,
     policy: Optional[ControllerConfig] = None,
-):
+) -> "MixedResult":
     """Simulate the steady-state interleaved write(k+1)/read(k) operation.
 
     The single-device counterpart of :func:`simulate_interleaver`: both

@@ -93,7 +93,7 @@ class TraceChecker:
     independent oracle for the event-driven scheduler.
     """
 
-    def __init__(self, config: DramConfig):
+    def __init__(self, config: DramConfig) -> None:
         self.config = config
         self.violations: List[Violation] = []
         t = config.timing

@@ -1,5 +1,7 @@
 """Functional interleaver implementations (index math and data paths)."""
 
+from __future__ import annotations
+
 from repro.interleaver.triangular import (
     RectangularIndexSpace,
     TriangularIndexSpace,

@@ -16,18 +16,25 @@ Both operate on whole frames: one frame is ``num_elements`` symbols.
 
 from __future__ import annotations
 
+from typing import Any, Dict, Tuple
+
 import numpy as np
+from numpy.typing import NDArray
 
-from repro.interleaver.triangular import RectangularIndexSpace, TriangularIndexSpace
+from repro.interleaver.triangular import (
+    IndexSpace,
+    RectangularIndexSpace,
+    TriangularIndexSpace,
+)
 
 
-def _permutation_from_orders(space) -> np.ndarray:
+def _permutation_from_orders(space: IndexSpace) -> NDArray[Any]:
     """Index permutation mapping write order to read order.
 
     ``out[k] = data[perm[k]]``: the k-th symbol *read* is the
     ``perm[k]``-th symbol *written*.
     """
-    write_slot = {}
+    write_slot: Dict[Tuple[int, int], int] = {}
     for slot, cell in enumerate(space.write_order()):
         write_slot[cell] = slot
     perm = np.empty(space.num_elements, dtype=np.int64)
@@ -39,7 +46,7 @@ def _permutation_from_orders(space) -> np.ndarray:
 class _PermutationInterleaver:
     """Shared frame-permutation machinery."""
 
-    def __init__(self, space):
+    def __init__(self, space: IndexSpace) -> None:
         self.space = space
         self._perm = _permutation_from_orders(space)
         self._inverse = np.argsort(self._perm)
@@ -49,21 +56,21 @@ class _PermutationInterleaver:
         """Symbols per frame."""
         return self.space.num_elements
 
-    def interleave(self, frame: np.ndarray) -> np.ndarray:
+    def interleave(self, frame: NDArray[Any]) -> NDArray[Any]:
         """Permute one frame (or a batch of stacked frames)."""
         self._check(frame)
         return frame[..., self._perm]
 
-    def deinterleave(self, frame: np.ndarray) -> np.ndarray:
+    def deinterleave(self, frame: NDArray[Any]) -> NDArray[Any]:
         """Exact inverse of :meth:`interleave`."""
         self._check(frame)
         return frame[..., self._inverse]
 
-    def permutation(self) -> np.ndarray:
+    def permutation(self) -> NDArray[Any]:
         """Copy of the read-slot -> write-slot permutation."""
         return self._perm.copy()
 
-    def _check(self, frame: np.ndarray) -> None:
+    def _check(self, frame: NDArray[Any]) -> None:
         if frame.shape[-1] != self.frame_symbols:
             raise ValueError(
                 f"frame must have {self.frame_symbols} symbols on its last axis, "
@@ -86,7 +93,7 @@ class BlockInterleaver(_PermutationInterleaver):
     different code words.
     """
 
-    def __init__(self, rows: int, cols: int):
+    def __init__(self, rows: int, cols: int) -> None:
         super().__init__(RectangularIndexSpace(rows, cols))
         self.rows = rows
         self.cols = cols
@@ -104,6 +111,6 @@ class TriangularInterleaver(_PermutationInterleaver):
     different input rows).
     """
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         super().__init__(TriangularIndexSpace(n))
         self.n = n

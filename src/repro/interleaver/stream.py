@@ -8,13 +8,14 @@ integers; these helpers generate, frame and pack such streams.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
+from numpy.typing import NDArray
 
 
 def random_symbols(count: int, bits_per_symbol: int = 3,
-                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+                   rng: Optional[np.random.Generator] = None) -> NDArray[np.uint16]:
     """Uniform random symbol stream.
 
     Args:
@@ -30,7 +31,8 @@ def random_symbols(count: int, bits_per_symbol: int = 3,
     return rng.integers(0, 1 << bits_per_symbol, size=count, dtype=np.uint16)
 
 
-def sequential_symbols(count: int, bits_per_symbol: int = 16) -> np.ndarray:
+def sequential_symbols(count: int,
+                       bits_per_symbol: int = 16) -> NDArray[np.uint16]:
     """Stream of ramp symbols (identity payload for tracing tests).
 
     Values wrap at the symbol width so the stream stays representable;
@@ -44,7 +46,8 @@ def sequential_symbols(count: int, bits_per_symbol: int = 16) -> np.ndarray:
     return (np.arange(count, dtype=np.uint32) & ((1 << bits_per_symbol) - 1)).astype(np.uint16)
 
 
-def pad_to(symbols: np.ndarray, length: int, fill: int = 0) -> np.ndarray:
+def pad_to(symbols: NDArray[Any], length: int,
+           fill: int = 0) -> NDArray[Any]:
     """Pad a stream with ``fill`` symbols up to ``length``."""
     if length < symbols.size:
         raise ValueError(f"cannot pad {symbols.size} symbols down to {length}")

@@ -23,12 +23,94 @@ rectangular block interleaver used in the SRAM pre-stage.
 from __future__ import annotations
 
 import math
-from typing import Iterator, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Protocol, Tuple
+
+if TYPE_CHECKING:
+    import numpy as np
+    from numpy.typing import ArrayLike, NDArray
 
 #: Default traversal chunk size (cells) for the vectorized coordinate
 #: iterators — large enough to amortize NumPy call overhead, small
 #: enough to keep paper-scale runs (12.5 M cells) in bounded memory.
 DEFAULT_COORD_CHUNK = 1 << 18
+
+#: One columnar coordinate chunk: equal-length ``(i, j)`` index arrays.
+CoordChunk = Tuple["NDArray[Any]", "NDArray[Any]"]
+
+
+class IndexSpace(Protocol):
+    """Structural interface of the interleaver index spaces.
+
+    The shared surface of :class:`TriangularIndexSpace` and
+    :class:`RectangularIndexSpace` that the interleaver and mapping
+    layers program against.  Runtime duck typing is looser — a space
+    offering only ``num_elements``/``contains`` and the traversal
+    iterators still works through the generic fallback paths — but
+    production code types against the full protocol.
+    """
+
+    @property
+    def height(self) -> int:
+        """Number of rows of the space's bounding box."""
+        ...
+
+    @property
+    def width(self) -> int:
+        """Number of columns of the space's bounding box."""
+        ...
+
+    @property
+    def num_elements(self) -> int:
+        """Number of cells in the space."""
+        ...
+
+    def row_length(self, i: int) -> int:
+        """Number of cells in row ``i``."""
+        ...
+
+    def col_length(self, j: int) -> int:
+        """Number of cells in column ``j``."""
+        ...
+
+    def contains(self, i: int, j: int) -> bool:
+        """Whether cell ``(i, j)`` lies inside the space."""
+        ...
+
+    def row_offset(self, i: int) -> int:
+        """Row-major linear index of cell ``(i, 0)``."""
+        ...
+
+    def linear_index(self, i: int, j: int) -> int:
+        """Row-major linear index of cell ``(i, j)``."""
+        ...
+
+    def from_linear(self, index: int) -> Tuple[int, int]:
+        """Inverse of :meth:`linear_index`."""
+        ...
+
+    def write_order(self) -> Iterator[Tuple[int, int]]:
+        """Cells in write order."""
+        ...
+
+    def read_order(self) -> Iterator[Tuple[int, int]]:
+        """Cells in read order."""
+        ...
+
+    def linear_indices(self, i: ArrayLike, j: ArrayLike) -> NDArray[Any]:
+        """Vectorized :meth:`linear_index` over coordinate arrays."""
+        ...
+
+    def write_coord_chunks(
+            self,
+            chunk_size: int = DEFAULT_COORD_CHUNK) -> Iterator[CoordChunk]:
+        """Write-order coordinates as columnar array chunks."""
+        ...
+
+    def read_coord_chunks(
+            self,
+            chunk_size: int = DEFAULT_COORD_CHUNK) -> Iterator[CoordChunk]:
+        """Read-order coordinates as columnar array chunks."""
+        ...
 
 
 class TriangularIndexSpace:
@@ -38,7 +120,7 @@ class TriangularIndexSpace:
     ``i + j < N``.
     """
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         if n < 1:
             raise ValueError(f"interleaver dimension must be >= 1, got {n}")
         self.n = n
@@ -127,7 +209,7 @@ class TriangularIndexSpace:
 
     # -- vectorized traversal (columnar coordinate chunks) -------------
 
-    def linear_indices(self, i, j):
+    def linear_indices(self, i: ArrayLike, j: ArrayLike) -> NDArray[Any]:
         """Vectorized :meth:`linear_index` over coordinate arrays.
 
         Args:
@@ -147,7 +229,9 @@ class TriangularIndexSpace:
             raise ValueError(f"coordinates outside triangle of size {self.n}")
         return i * self.n - i * (i - 1) // 2 + j
 
-    def write_coord_chunks(self, chunk_size: int = DEFAULT_COORD_CHUNK):
+    def write_coord_chunks(
+            self,
+            chunk_size: int = DEFAULT_COORD_CHUNK) -> Iterator[CoordChunk]:
         """Write-order (row-wise) coordinates as ``(i, j)`` array chunks.
 
         Yields ``int64`` array pairs covering the same cells, in the
@@ -159,7 +243,9 @@ class TriangularIndexSpace:
         yield from _row_wise_chunks(np, self.n, lambda i: self.n - i, chunk_size,
                                     major_is_row=True)
 
-    def read_coord_chunks(self, chunk_size: int = DEFAULT_COORD_CHUNK):
+    def read_coord_chunks(
+            self,
+            chunk_size: int = DEFAULT_COORD_CHUNK) -> Iterator[CoordChunk]:
         """Read-order (column-wise) coordinates as ``(i, j)`` array chunks."""
         import numpy as np
 
@@ -177,7 +263,7 @@ class TriangularIndexSpace:
 class RectangularIndexSpace:
     """Dense ``height x width`` index space (classic block interleaver)."""
 
-    def __init__(self, height: int, width: int):
+    def __init__(self, height: int, width: int) -> None:
         if height < 1 or width < 1:
             raise ValueError(f"dimensions must be >= 1, got {height} x {width}")
         self.height = height
@@ -236,7 +322,7 @@ class RectangularIndexSpace:
 
     # -- vectorized traversal (columnar coordinate chunks) -------------
 
-    def linear_indices(self, i, j):
+    def linear_indices(self, i: ArrayLike, j: ArrayLike) -> NDArray[Any]:
         """Vectorized :meth:`linear_index` over coordinate arrays."""
         import numpy as np
 
@@ -246,7 +332,9 @@ class RectangularIndexSpace:
             raise ValueError(f"coordinates outside {self.height} x {self.width} space")
         return i * self.width + j
 
-    def write_coord_chunks(self, chunk_size: int = DEFAULT_COORD_CHUNK):
+    def write_coord_chunks(
+            self,
+            chunk_size: int = DEFAULT_COORD_CHUNK) -> Iterator[CoordChunk]:
         """Write-order coordinates as ``(i, j)`` array chunks."""
         import numpy as np
 
@@ -255,7 +343,9 @@ class RectangularIndexSpace:
             linear = np.arange(start, min(start + chunk_size, total), dtype=np.int64)
             yield linear // self.width, linear % self.width
 
-    def read_coord_chunks(self, chunk_size: int = DEFAULT_COORD_CHUNK):
+    def read_coord_chunks(
+            self,
+            chunk_size: int = DEFAULT_COORD_CHUNK) -> Iterator[CoordChunk]:
         """Read-order coordinates as ``(i, j)`` array chunks."""
         import numpy as np
 
@@ -268,7 +358,8 @@ class RectangularIndexSpace:
         return f"RectangularIndexSpace({self.height}, {self.width})"
 
 
-def _row_wise_chunks(np, n: int, length_of, chunk_size: int, major_is_row: bool):
+def _row_wise_chunks(np: Any, n: int, length_of: Callable[[int], int],
+                     chunk_size: int, major_is_row: bool) -> Iterator[CoordChunk]:
     """Concatenate triangle rows (or columns) into coordinate chunks.
 
     Walks the major axis of a size-``n`` triangle; index ``k`` of the

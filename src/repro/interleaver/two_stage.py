@@ -23,8 +23,10 @@ The receiver applies the exact inverse pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.interleaver.block import BlockInterleaver, TriangularInterleaver
 
@@ -90,7 +92,7 @@ class TwoStageInterleaver:
     words.
     """
 
-    def __init__(self, config: TwoStageConfig):
+    def __init__(self, config: TwoStageConfig) -> None:
         # Geometry validity (whole SRAM groups per frame) is enforced by
         # TwoStageConfig itself, so every entry point fails fast.
         self.config = config
@@ -112,7 +114,7 @@ class TwoStageInterleaver:
 
     # -- transmitter ----------------------------------------------------
 
-    def interleave(self, frame: np.ndarray) -> np.ndarray:
+    def interleave(self, frame: NDArray[Any]) -> NDArray[Any]:
         """Apply SRAM stage, pack elements, apply DRAM stage."""
         self._check(frame)
         config = self.config
@@ -124,7 +126,7 @@ class TwoStageInterleaver:
 
     # -- receiver --------------------------------------------------------
 
-    def deinterleave(self, frame: np.ndarray) -> np.ndarray:
+    def deinterleave(self, frame: NDArray[Any]) -> NDArray[Any]:
         """Exact inverse of :meth:`interleave`."""
         self._check(frame)
         config = self.config
@@ -135,15 +137,15 @@ class TwoStageInterleaver:
 
     # -- batched frame path (precomputed permutation arrays) --------------
 
-    def permutation(self) -> np.ndarray:
+    def permutation(self) -> NDArray[Any]:
         """Copy of the transmit permutation: ``interleave(x) == x[perm]``."""
         return self._perm.copy()
 
-    def inverse_permutation(self) -> np.ndarray:
+    def inverse_permutation(self) -> NDArray[Any]:
         """Copy of the receive permutation: ``deinterleave(y) == y[inv]``."""
         return self._inverse.copy()
 
-    def interleave_frames(self, frames: np.ndarray) -> np.ndarray:
+    def interleave_frames(self, frames: NDArray[Any]) -> NDArray[Any]:
         """Interleave stacked frames (last axis = frame symbols) at once.
 
         A single gather through the precomputed permutation; each row is
@@ -152,12 +154,12 @@ class TwoStageInterleaver:
         self._check_frames(frames)
         return frames[..., self._perm]
 
-    def deinterleave_frames(self, frames: np.ndarray) -> np.ndarray:
+    def deinterleave_frames(self, frames: NDArray[Any]) -> NDArray[Any]:
         """Exact batched inverse of :meth:`interleave_frames`."""
         self._check_frames(frames)
         return frames[..., self._inverse]
 
-    def _check_frames(self, frames: np.ndarray) -> None:
+    def _check_frames(self, frames: NDArray[Any]) -> None:
         if frames.ndim < 1 or frames.shape[-1] != self.frame_symbols:
             raise ValueError(
                 f"frames must have {self.frame_symbols} symbols on the last axis, "
@@ -172,7 +174,7 @@ class TwoStageInterleaver:
             raise ValueError(f"symbol index {index} out of range")
         return index // self.config.codeword_symbols
 
-    def element_codewords(self, frame_codeword_ids: np.ndarray) -> np.ndarray:
+    def element_codewords(self, frame_codeword_ids: NDArray[Any]) -> NDArray[Any]:
         """Code-word ids as seen per burst element after interleaving.
 
         Args:
@@ -190,7 +192,7 @@ class TwoStageInterleaver:
             self.config.elements_per_frame, self.config.symbols_per_element
         )
 
-    def _check(self, frame: np.ndarray) -> None:
+    def _check(self, frame: NDArray[Any]) -> None:
         if frame.ndim != 1 or frame.size != self.frame_symbols:
             raise ValueError(
                 f"frame must be 1-D with {self.frame_symbols} symbols, got shape {frame.shape}"

@@ -1,5 +1,7 @@
 """Interleaver-to-DRAM address mappings (the paper's contribution)."""
 
+from __future__ import annotations
+
 from repro.mapping.analysis import (
     MappingProfile,
     PatternMetrics,

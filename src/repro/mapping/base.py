@@ -10,11 +10,11 @@ share a (bank, row, column) triple — which is property-tested in
 from __future__ import annotations
 
 import abc
-from typing import Any, Iterator, Tuple
+from typing import Any, Iterator, List, Tuple
 
 from repro.dram.address import DramAddress
 from repro.dram.geometry import Geometry
-from repro.interleaver.triangular import DEFAULT_COORD_CHUNK
+from repro.interleaver.triangular import DEFAULT_COORD_CHUNK, IndexSpace
 
 #: The (bank, row, column) tuples the controller consumes.
 AddressTuple = Tuple[int, int, int]
@@ -49,7 +49,7 @@ class InterleaverMapping(abc.ABC):
     #: reference path unless arrays are requested explicitly.
     vectorized: bool = False
 
-    def __init__(self, space, geometry: Geometry):
+    def __init__(self, space: IndexSpace, geometry: Geometry) -> None:
         self.space = space
         self.geometry = geometry
 
@@ -76,7 +76,7 @@ class InterleaverMapping(abc.ABC):
 
     # -- vectorized traversal (columnar address chunks) -----------------
 
-    def address_arrays(self, i, j) -> AddressArrays:
+    def address_arrays(self, i: Any, j: Any) -> AddressArrays:
         """Physical addresses of coordinate arrays, columnar.
 
         Args:
@@ -121,7 +121,8 @@ class InterleaverMapping(abc.ABC):
         for i, j in self._coord_chunks(chunk_size, write=False):
             yield self.address_arrays(i, j)
 
-    def _coord_chunks(self, chunk_size: int, write: bool):
+    def _coord_chunks(self, chunk_size: int,
+                      write: bool) -> Iterator[Tuple[Any, Any]]:
         """Coordinate chunks from the space, or from the tuple order.
 
         Index spaces expose ``write_coord_chunks`` / ``read_coord_chunks``
@@ -138,8 +139,8 @@ class InterleaverMapping(abc.ABC):
             yield from space.read_coord_chunks(chunk_size)
             return
         order = space.write_order() if write else space.read_order()
-        buf_i = []
-        buf_j = []
+        buf_i: List[int] = []
+        buf_j: List[int] = []
         for i, j in order:
             buf_i.append(i)
             buf_j.append(j)

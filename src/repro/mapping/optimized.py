@@ -44,10 +44,11 @@ allocation wastes the rows of the empty lower-right half; passing
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.dram.geometry import Geometry
-from repro.mapping.base import AddressTuple, InterleaverMapping
+from repro.interleaver.triangular import IndexSpace
+from repro.mapping.base import AddressArrays, AddressTuple, InterleaverMapping
 from repro.mapping.tiling import TileGeometry, balanced_tile, row_strip_tile, tiles_covering
 
 
@@ -88,7 +89,7 @@ class OptimizedMapping(InterleaverMapping):
 
     def __init__(
         self,
-        space,
+        space: IndexSpace,
         geometry: Geometry,
         *,
         enable_bank_rotation: bool = True,
@@ -96,7 +97,7 @@ class OptimizedMapping(InterleaverMapping):
         enable_offset: bool = True,
         prefer_tall: bool = True,
         compact_rows: bool = False,
-    ):
+    ) -> None:
         super().__init__(space, geometry)
         self.enable_bank_rotation = enable_bank_rotation
         self.enable_tiling = enable_tiling
@@ -251,7 +252,7 @@ class OptimizedMapping(InterleaverMapping):
 
     vectorized = True
 
-    def address_arrays(self, i, j):
+    def address_arrays(self, i: Any, j: Any) -> AddressArrays:
         """NumPy mirror of :meth:`address_tuple` over coordinate arrays.
 
         Coordinates must lie inside the index space (the traversal

@@ -21,11 +21,17 @@ on LPDDR4-4266).
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Any, Iterator
 
 from repro.dram.address import DEFAULT_SCHEME, LinearDecoder
 from repro.dram.geometry import Geometry
-from repro.mapping.base import DEFAULT_CHUNK, AddressTuple, InterleaverMapping
+from repro.interleaver.triangular import IndexSpace
+from repro.mapping.base import (
+    DEFAULT_CHUNK,
+    AddressArrays,
+    AddressTuple,
+    InterleaverMapping,
+)
 
 
 class RowMajorMapping(InterleaverMapping):
@@ -43,8 +49,8 @@ class RowMajorMapping(InterleaverMapping):
 
     name = "row-major"
 
-    def __init__(self, space, geometry: Geometry, scheme: str = DEFAULT_SCHEME,
-                 base_burst: int = 0):
+    def __init__(self, space: IndexSpace, geometry: Geometry,
+                 scheme: str = DEFAULT_SCHEME, base_burst: int = 0) -> None:
         super().__init__(space, geometry)
         if base_burst < 0:
             raise ValueError(f"base_burst must be >= 0, got {base_burst}")
@@ -90,13 +96,14 @@ class RowMajorMapping(InterleaverMapping):
 
     vectorized = True
 
-    def address_arrays(self, i, j):
+    def address_arrays(self, i: Any, j: Any) -> AddressArrays:
         """Vectorized linearize-and-decode over coordinate arrays."""
         return self.decoder.decode_arrays(
             self.base_burst + self.space.linear_indices(i, j)
         )
 
-    def write_addresses_array(self, chunk_size: int = DEFAULT_CHUNK):
+    def write_addresses_array(
+            self, chunk_size: int = DEFAULT_CHUNK) -> Iterator[AddressArrays]:
         """Sequential burst indices decoded in bulk (fastest path).
 
         The write order is the linear order, so the coordinate step is

@@ -546,7 +546,7 @@ def format_campaign(summaries: Sequence[CampaignSummary]) -> str:
     lines = [header]
     for summary in summaries:
         gain = summary.pooled_gain
-        gain_text = "inf" if gain == float("inf") else f"{gain:.1f}x"
+        gain_text = "inf" if math.isinf(gain) else f"{gain:.1f}x"
         lines.append(
             f"{summary.mean_fade_symbols:6.0f} {summary.fade_fraction:7.4f} "
             f"{summary.interleaver.triangle_n:4d} {summary.code.t_correctable:3d} "

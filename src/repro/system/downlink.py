@@ -18,14 +18,13 @@ count below the correction radius.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from typing import Sequence
-
 from repro.channel.burst_stats import (
     BurstProfile,
+    FrameBurstArrays,
     burst_profile,
     errors_per_codeword,
     frame_burst_arrays,
@@ -92,7 +91,8 @@ def merge_decoding_reports(reports: Sequence[DecodingReport]) -> DecodingReport:
     )
 
 
-def _merge_burst_arrays(bursts, symbols: int) -> BurstProfile:
+def _merge_burst_arrays(bursts: Sequence[FrameBurstArrays],
+                        symbols: int) -> BurstProfile:
     """Aggregate chunked :class:`FrameBurstArrays` like :func:`merge_burst_profiles`.
 
     Bit-identical to expanding every chunk to per-frame
@@ -129,7 +129,7 @@ class OpticalDownlink:
         code: CodewordConfig,
         channel_params: GilbertElliottParams,
         rng: Optional[np.random.Generator] = None,
-    ):
+    ) -> None:
         if interleaver_config.codeword_symbols != code.n_symbols:
             raise ValueError(
                 "interleaver grouping and code length disagree: "

@@ -47,6 +47,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.channel.codeword import CodewordConfig
+from repro.dram.commands import ScheduledCommand
 from repro.channel.gilbert_elliott import GilbertElliottParams
 from repro.dram.controller import OP_READ, OP_WRITE, ControllerConfig
 from repro.dram.energy import (
@@ -128,7 +129,7 @@ class FrameStreamSource(WorkloadSource):
         interleaver: TwoStageConfig,
         frames: int,
         op: str = OP_WRITE,
-    ):
+    ) -> None:
         _check_bridge(interleaver, mapping)
         if frames < 0:
             raise ValueError(f"frames must be >= 0, got {frames}")
@@ -311,8 +312,9 @@ class E2EResult:
         return latency_percentile_ps(self.read_latencies_ps, q)
 
 
-def _frame_latencies(commands, frames: int, elements_per_frame: int,
-                     config: DramConfig, op: str) -> Tuple[int, ...]:
+def _frame_latencies(commands: Sequence[ScheduledCommand], frames: int,
+                     elements_per_frame: int, config: DramConfig,
+                     op: str) -> Tuple[int, ...]:
     """Per-frame service times from a recorded homogeneous schedule.
 
     Args:

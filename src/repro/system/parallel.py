@@ -20,7 +20,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Any, Callable, Iterable, List, Optional
 
 from repro.dram.controller import OP_READ, OP_WRITE, ControllerConfig
 from repro.dram.mixed import MixedResult
@@ -242,7 +242,8 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def _run_tasks(worker, tasks, jobs: Optional[int]) -> list:
+def _run_tasks(worker: Callable[[Any], Any], tasks: Iterable[Any],
+               jobs: Optional[int]) -> List[Any]:
     """Fan ``tasks`` over a process pool; serial fallback, stable order.
 
     The process pool is an optimization, never a requirement: if worker

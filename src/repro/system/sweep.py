@@ -13,6 +13,7 @@ serial and produces identical results.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -61,7 +62,7 @@ def default_mappings() -> Dict[str, MappingFactory]:
 
 def ablation_factories() -> Dict[str, MappingFactory]:
     """Optimized-mapping variants with each optimization toggled off."""
-    def make(**kwargs) -> MappingFactory:
+    def make(**kwargs: bool) -> MappingFactory:
         return lambda space, geometry: OptimizedMapping(
             space, geometry, prefer_tall=False, **kwargs
         )
@@ -545,7 +546,7 @@ def format_e2e_table(rows: Sequence[E2ERow]) -> str:
     for row in rows:
         result = row.result
         gain = result.gain
-        gain_text = "inf" if gain == float("inf") else f"{gain:.1f}x"
+        gain_text = "inf" if math.isinf(gain) else f"{gain:.1f}x"
         lines.append(
             f"{row.config_name:14s} {row.mapping_name:10s} "
             f"{result.cwer_interleaved:10.2e} {gain_text:>7s} "

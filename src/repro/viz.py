@@ -12,12 +12,20 @@ sub-figures of Fig. 1 can be regenerated and eyeballed:
 from __future__ import annotations
 
 import math
-from typing import Callable, List, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, List, Sequence
 
+from repro.interleaver.triangular import IndexSpace
 from repro.mapping.optimized import OptimizedMapping
 
+if TYPE_CHECKING:
+    from repro.dram.geometry import Geometry
+    from repro.system.campaign import CampaignSummary
+    from repro.system.sweep import E2ERow
+    from repro.system.throughput import EnergyProvisioningPoint
 
-def render_grid(space, label: Callable[[int, int], str], col_width: int = 0) -> str:
+
+def render_grid(space: IndexSpace, label: Callable[[int, int], str],
+                col_width: int = 0) -> str:
     """Render ``label(i, j)`` for every cell of a 2-D index space.
 
     Cells outside the space (the lower-right half of a triangle) are
@@ -62,7 +70,8 @@ def render_full(mapping: OptimizedMapping) -> str:
     return render_grid(mapping.space, label)
 
 
-def render_figure1(space, geometry, prefer_tall: bool = False) -> str:
+def render_figure1(space: IndexSpace, geometry: Geometry,
+                   prefer_tall: bool = False) -> str:
     """All four Fig. 1 panels for a small space/geometry pair."""
     base = dict(prefer_tall=prefer_tall)
     no_offset = OptimizedMapping(space, geometry, enable_offset=False, **base)
@@ -79,7 +88,8 @@ def render_figure1(space, geometry, prefer_tall: bool = False) -> str:
     return "\n\n".join(blocks)
 
 
-def render_campaign_gains(summaries, width: int = 30) -> str:
+def render_campaign_gains(summaries: Iterable[CampaignSummary],
+                          width: int = 30) -> str:
     """Interleaving gain vs. fade duration as a text chart.
 
     One line per campaign summary row, ordered by mean fade length:
@@ -109,7 +119,7 @@ def render_campaign_gains(summaries, width: int = 30) -> str:
              f"{'gain (log scale)':{width}s} {'CWER intl':>10s} {'95% CI':>21s}"]
     for summary in rows:
         gain = summary.pooled_gain
-        if gain == float("inf"):
+        if math.isinf(gain):
             bar = "#" * width
             label = "inf"
         else:
@@ -126,7 +136,8 @@ def render_campaign_gains(summaries, width: int = 30) -> str:
     return "\n".join(lines)
 
 
-def render_energy_pareto(points, width: int = 30) -> str:
+def render_energy_pareto(points: Iterable[EnergyProvisioningPoint],
+                         width: int = 30) -> str:
     """Bandwidth-vs-power provisioning chart (text).
 
     One line per :class:`~repro.system.throughput
@@ -159,7 +170,7 @@ def render_energy_pareto(points, width: int = 30) -> str:
     return "\n".join(lines)
 
 
-def render_e2e_latency(rows, width: int = 30) -> str:
+def render_e2e_latency(rows: Iterable[E2ERow], width: int = 30) -> str:
     """Per-frame latency-percentile chart of the e2e co-simulation table.
 
     Two lines per :class:`~repro.system.sweep.E2ERow` — one per DRAM

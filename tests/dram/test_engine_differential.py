@@ -182,3 +182,26 @@ def test_reference_module_is_not_imported_by_production_code():
         assert "import" + " _reference" not in source
         assert "from repro.dram import _reference" not in source
         assert "from repro.dram._reference import" not in source
+
+
+def test_multi_entry_deferred_commit_matches_reference():
+    """Several deferred activations committed in one arbiter pass.
+
+    Row-thrash across every bank with a deep queue parks many banks in
+    the deferral heap with overlapping ready times, so the arbiter's
+    multi-entry commit (reused buffer, bank-order sort) runs hundreds
+    of times; stats and the full command tape must still match the
+    frozen scalar oracle bit for bit.
+    """
+    config = get_config("DDR4-3200")
+    policy = ControllerConfig(queue_depth=64, per_bank_depth=4,
+                              refresh_enabled=True, record_commands=True)
+    n_banks = config.geometry.banks
+    requests = [(k % n_banks, (k // n_banks) % 8, k % 16)
+                for k in range(600)]
+    engine_result = MemoryController(config, policy).run_phase(
+        iter(requests), OP_READ)
+    reference_result = reference_run_phase(config, list(requests),
+                                           OP_READ, policy)
+    assert engine_result.stats == reference_result.stats
+    assert engine_result.commands == reference_result.commands

@@ -287,6 +287,16 @@ class TestSummaryAndExports:
         assert "95% CI" in text
         assert "gain" in text
 
+    def test_format_campaign_infinite_gain(self):
+        # Regression: a perfect interleaved arm (pooled_gain == inf)
+        # renders as the "inf" cell without tripping float formatting.
+        cell = _cells(seeds=[1], frames=10)[0]
+        perfect = CellResult(cell, 100, 0, 9, 12, 4, 0, 8)
+        summaries = summarize_campaign([perfect])
+        assert math.isinf(summaries[0].pooled_gain)
+        lines = format_campaign(summaries).splitlines()
+        assert "inf" in lines[1]
+
     def test_export_json_schema(self):
         results = run_campaign(_cells(seeds=(1, 2), frames=15))
         summaries = summarize_campaign(results)

@@ -1,5 +1,7 @@
 """End-to-end downlink -> DRAM co-simulation engine."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -316,6 +318,16 @@ class TestE2ETable:
         assert "DDR3-800" in text
         assert "row-major" in text and "optimized" in text
         assert "pJ/bit" in text
+
+    def test_format_infinite_gain(self):
+        # Regression: a cell whose interleaved arm rescued every
+        # code word (gain == inf) renders as the "inf" column cell.
+        channel = coherence_params(40.0, 0.01, p_bad=0.7)
+        rows = run_e2e_table(n=15, config_names=("DDR3-800",), frames=20,
+                             channel=channel, seed=1)
+        assert math.isinf(rows[0].result.gain)
+        lines = format_e2e_table(rows).splitlines()
+        assert "inf" in lines[1]
 
     def test_invalid_geometry_raises(self):
         # T(16) = 136 symbols x 4 does not hold whole 96-symbol groups.

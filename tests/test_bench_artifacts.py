@@ -1,0 +1,48 @@
+"""The benchmark suite emits machine-readable ``BENCH_<name>.json``.
+
+Runs the cheapest real bench module (``bench_fig1``, sub-second) in a
+subprocess with the artifact directory redirected to a tmpdir, and
+checks the emitted document: one file per module, named after the
+module stem, carrying per-test outcome/duration rows and the
+``paper_artifact`` marker names.  This is the tier-1 anchor for the CI
+benchmarks-smoke job's artifact upload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_bench_run_emits_named_json_artifact(tmp_path: Path) -> None:
+    env = dict(os.environ)
+    env["REPRO_BENCH_ARTIFACT_DIR"] = str(tmp_path)
+    env["PYTHONPATH"] = str(REPO / "src")
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", "benchmarks/bench_fig1.py", "-q",
+         "--benchmark-disable", "-p", "no:cacheprovider"],
+        cwd=REPO,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+    artifact = tmp_path / "BENCH_fig1.json"
+    assert artifact.exists(), sorted(p.name for p in tmp_path.iterdir())
+    document = json.loads(artifact.read_text(encoding="utf-8"))
+    assert document["version"] == 1
+    assert document["module"] == "benchmarks/bench_fig1.py"
+    assert document["failed"] == 0
+    assert document["passed"] == len(document["results"]) > 0
+    for row in document["results"]:
+        assert row["outcome"] == "passed"
+        assert row["duration_s"] >= 0
+        assert row["test"].startswith("benchmarks/bench_fig1.py::")
+    names = {row.get("paper_artifact") for row in document["results"]}
+    assert "Fig. 1" in names

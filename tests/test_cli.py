@@ -221,6 +221,14 @@ class TestDownlink:
         assert main(["downlink", "--fade-fraction", "1.5"]) == 2
         capsys.readouterr()
 
+    def test_infinite_gain_prints_inf(self, capsys):
+        # Regression: seed 5 rescues every interleaved code word while
+        # the baseline fails some, so the gain line must print "inf".
+        assert main(["downlink", "--frames", "20", "--fade-symbols", "40",
+                     "--fade-fraction", "0.01", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "gain: inf" in out
+
 
 CAMPAIGN_SMALL = [
     "campaign", "--fade-symbols", "60", "--fade-fraction", "0.004",
