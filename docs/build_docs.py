@@ -59,6 +59,7 @@ PAGES = (
     ("architecture", "Architecture"),
     ("reproduction", "Reproduction guide"),
     ("analysis", "Static analysis"),
+    ("store", "Result store & serving"),
 )
 
 ROLE_RE = re.compile(

@@ -12,6 +12,8 @@ Commands:
 * ``e2e``       — joint downlink -> DRAM co-simulation table (FER +
   utilization + per-frame latency percentiles + energy per cell)
 * ``provision`` — size a DRAM system for a target line rate
+* ``serve``     — HTTP job API over a shared result store (submit a
+  campaign grid, poll progress, stream incremental results)
 * ``trace``     — record a phase's command trace and replay-check it
 * ``configs``   — list the built-in device configurations
 * ``lint``      — run the repo-specific static analyzer (R001–R006)
@@ -20,7 +22,12 @@ Simulation grids (``table1``, ``mixed``, ``ablation``, ``energy``,
 ``e2e``)
 accept ``--jobs N`` to fan the (config x mapping x phase) work items
 out over N worker processes (``--jobs 0`` = all cores); results are
-identical to a serial run.
+identical to a serial run.  ``table1``, ``mixed``, ``energy``, ``e2e``
+and ``campaign`` also accept ``--store DIR``, the shared
+content-addressed result store: cells already persisted by *any*
+earlier run — the same command, a different sweep over the same
+(config, mapping, n) cells, or the ``serve`` job engine — are reused
+instead of re-simulated, byte-identically.
 
 Every command prints plain text and exits non-zero on bad arguments, so
 the CLI is scriptable from shell pipelines.
@@ -31,7 +38,7 @@ from __future__ import annotations
 import argparse
 import math
 import sys
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -44,11 +51,13 @@ from repro.interleaver.triangular import RectangularIndexSpace, TriangularIndexS
 from repro.interleaver.two_stage import TwoStageConfig
 from repro.mapping.optimized import OptimizedMapping
 from repro.mapping.row_major import RowMajorMapping
+from repro.store.export import open_export, write_csv_rows
+from repro.store.jobs import grid_from_spec
+from repro.store.store import ResultStore
 from repro.system.campaign import (
-    campaign_grid,
+    campaign_report,
     export_csv,
     export_json,
-    format_campaign,
     run_campaign,
     summarize_campaign,
 )
@@ -65,7 +74,15 @@ from repro.system.sweep import (
     run_table1,
     sweep_ablation,
 )
-from repro.system.throughput import energy_pareto, provision, throughput_report
+from repro.system.throughput import (
+    PARETO_CSV_FIELDS,
+    PROVISION_CSV_FIELDS,
+    energy_pareto,
+    pareto_csv_rows,
+    provision,
+    provision_csv_rows,
+    throughput_report,
+)
 from repro.units import gbit_per_s
 from repro.viz import (
     render_campaign_gains,
@@ -81,6 +98,17 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
                              "(0 = all cores, default 1 = serial)")
 
 
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", metavar="DIR",
+                        help="shared content-addressed result store: reuse "
+                             "cells any earlier run persisted, write back "
+                             "the rest (created if missing)")
+
+
+def _open_store(args: argparse.Namespace) -> Optional[ResultStore]:
+    return ResultStore(args.store) if args.store else None
+
+
 def _add_table1(subparsers: Any) -> None:
     parser = subparsers.add_parser("table1", help="regenerate Table I")
     parser.add_argument("--n", type=int, default=256,
@@ -90,6 +118,7 @@ def _add_table1(subparsers: Any) -> None:
     parser.add_argument("--configs", nargs="*", metavar="NAME",
                         help="subset of configurations (default: all ten)")
     _add_jobs_argument(parser)
+    _add_store_argument(parser)
     parser.set_defaults(func=_cmd_table1)
 
 
@@ -100,7 +129,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         print(f"error: unknown configurations {sorted(unknown)}", file=sys.stderr)
         return 2
     policy = ControllerConfig(refresh_enabled=not args.no_refresh)
-    rows = run_table1(n=args.n, config_names=names, policy=policy, jobs=args.jobs)
+    rows = run_table1(n=args.n, config_names=names, policy=policy,
+                      jobs=args.jobs, store=_open_store(args))
     print(format_table1(rows))
     return 0
 
@@ -119,6 +149,7 @@ def _add_mixed(subparsers: Any) -> None:
     parser.add_argument("--configs", nargs="*", metavar="NAME",
                         help="subset of configurations (default: all ten)")
     _add_jobs_argument(parser)
+    _add_store_argument(parser)
     parser.set_defaults(func=_cmd_mixed)
 
 
@@ -133,7 +164,8 @@ def _cmd_mixed(args: argparse.Namespace) -> int:
         return 2
     policy = ControllerConfig(refresh_enabled=not args.no_refresh)
     rows = run_mixed_table(n=args.n, config_names=names, group=args.group,
-                           policy=policy, jobs=args.jobs)
+                           policy=policy, jobs=args.jobs,
+                           store=_open_store(args))
     print(format_mixed_table(rows))
     return 0
 
@@ -190,7 +222,11 @@ def _add_energy(subparsers: Any) -> None:
     parser.add_argument("--no-pareto", action="store_true",
                         help="print only the energy table, skip the "
                              "provisioning Pareto chart")
+    parser.add_argument("--csv", metavar="PATH",
+                        help="write one CSV row per provisioning Pareto "
+                             "point")
     _add_jobs_argument(parser)
+    _add_store_argument(parser)
     parser.set_defaults(func=_cmd_energy)
 
 
@@ -203,9 +239,13 @@ def _cmd_energy(args: argparse.Namespace) -> int:
     if args.max_channels < 1:
         print("error: --max-channels must be >= 1", file=sys.stderr)
         return 2
+    if args.csv and args.no_pareto:
+        print("error: --csv exports the Pareto points, which --no-pareto "
+              "skips", file=sys.stderr)
+        return 2
     policy = ControllerConfig(refresh_enabled=not args.no_refresh)
     rows = run_energy_table(n=args.n, config_names=names, policy=policy,
-                            jobs=args.jobs)
+                            jobs=args.jobs, store=_open_store(args))
     print(format_energy_table(rows))
     if not args.no_pareto:
         cells = [
@@ -216,6 +256,9 @@ def _cmd_energy(args: argparse.Namespace) -> int:
         points = energy_pareto(cells, max_channels=args.max_channels)
         print()
         print(render_energy_pareto(points))
+        if args.csv:
+            write_csv_rows(args.csv, PARETO_CSV_FIELDS,
+                           pareto_csv_rows(points))
     return 0
 
 
@@ -317,58 +360,62 @@ def _add_campaign(subparsers: Any) -> None:
     parser.add_argument("--csv", metavar="PATH",
                         help="write one CSV row per cell")
     parser.add_argument("--cache-dir", metavar="DIR",
-                        help="per-cell on-disk result cache (always written)")
+                        help="per-cell result store (always written); "
+                             "synonym of --store kept from the PR 2 cache")
     parser.add_argument("--resume", action="store_true",
-                        help="reuse cache entries from an earlier run "
-                             "(requires --cache-dir)")
+                        help="reuse store entries from an earlier run "
+                             "(requires --cache-dir or --store)")
     parser.add_argument("--no-chart", action="store_true",
                         help="skip the gain-vs-fade chart")
     _add_jobs_argument(parser)
+    _add_store_argument(parser)
     parser.set_defaults(func=_cmd_campaign)
+
+
+def _campaign_spec(args: argparse.Namespace) -> Dict[str, Any]:
+    """The grid spec of a ``campaign`` invocation (see ``grid_from_spec``)."""
+    return {
+        "fade_symbols": args.fade_symbols,
+        "fade_fraction": args.fade_fraction,
+        "p_bad": args.p_bad,
+        "p_good": args.p_good,
+        "triangle_n": args.triangle_n,
+        "symbols_per_element": args.symbols_per_element,
+        "codeword_symbols": args.codeword_symbols,
+        "t_correctable": args.t_correctable,
+        "seeds": args.seeds,
+        "seed_base": args.seed_base,
+        "frames": args.frames,
+    }
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.seeds < 1 or args.frames < 1:
         print("error: --seeds and --frames must be >= 1", file=sys.stderr)
         return 2
-    if args.resume and not args.cache_dir:
-        print("error: --resume requires --cache-dir", file=sys.stderr)
+    store_root = args.store or args.cache_dir
+    if args.resume and not store_root:
+        print("error: --resume requires --cache-dir or --store",
+              file=sys.stderr)
         return 2
     try:
-        channels = [
-            coherence_params(length, fraction, p_bad=args.p_bad,
-                             p_good=args.p_good)
-            for length in args.fade_symbols
-            for fraction in args.fade_fraction
-        ]
-        interleavers = [
-            TwoStageConfig(triangle_n=n,
-                           symbols_per_element=args.symbols_per_element,
-                           codeword_symbols=args.codeword_symbols)
-            for n in args.triangle_n
-        ]
-        codes = [CodewordConfig(n_symbols=args.codeword_symbols,
-                                t_correctable=args.t_correctable)]
-        seeds = range(args.seed_base, args.seed_base + args.seeds)
-        cells = campaign_grid(channels, interleavers, codes, seeds, args.frames)
+        cells = grid_from_spec(_campaign_spec(args))
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    results = run_campaign(cells, jobs=args.jobs, cache_dir=args.cache_dir,
+    store = ResultStore(store_root) if store_root else None
+    results = run_campaign(cells, jobs=args.jobs, store=store,
                            resume=args.resume)
     summaries = summarize_campaign(results)
-    print(f"campaign: {len(results)} cells, "
-          f"{sum(r.cell.frames for r in results)} frames, "
-          f"{sum(r.codewords for r in results)} code words per arm")
-    print(format_campaign(summaries))
+    print(campaign_report(results, summaries))
     if not args.no_chart:
         print()
         print(render_campaign_gains(summaries))
     if args.json:
-        with open(args.json, "w") as stream:
+        with open_export(args.json) as stream:
             export_json(results, summaries, stream)
     if args.csv:
-        with open(args.csv, "w") as stream:
+        with open_export(args.csv) as stream:
             export_csv(results, stream)
     return 0
 
@@ -403,6 +450,7 @@ def _add_e2e(subparsers: Any) -> None:
     parser.add_argument("--no-chart", action="store_true",
                         help="skip the latency-percentile chart")
     _add_jobs_argument(parser)
+    _add_store_argument(parser)
     parser.set_defaults(func=_cmd_e2e)
 
 
@@ -424,7 +472,7 @@ def _cmd_e2e(args: argparse.Namespace) -> int:
             symbols_per_element=args.symbols_per_element,
             codeword_symbols=args.codeword_symbols,
             t_correctable=args.t_correctable, seed=args.seed, policy=policy,
-            jobs=args.jobs)
+            jobs=args.jobs, store=_open_store(args))
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -444,6 +492,8 @@ def _add_provision(subparsers: Any) -> None:
     parser.add_argument("--target-gbit", type=float, default=100.0)
     parser.add_argument("--n", type=int, default=256)
     parser.add_argument("--configs", nargs="*", metavar="NAME")
+    parser.add_argument("--csv", metavar="PATH",
+                        help="write one CSV row per ranked choice")
     parser.set_defaults(func=_cmd_provision)
 
 
@@ -472,6 +522,48 @@ def _cmd_provision(args: argparse.Namespace) -> int:
         print(f"{rank:4d} {report.config_name:14s} {report.mapping_name:10s} "
               f"{choice.channels:8d} {choice.total_peak_gbit:11.0f} "
               f"{choice.oversizing_factor:10.2f}x")
+    if args.csv:
+        write_csv_rows(args.csv, PROVISION_CSV_FIELDS,
+                       provision_csv_rows(choices))
+    return 0
+
+
+def _add_serve(subparsers: Any) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="HTTP job API over a shared result store: submit campaign "
+             "grids, poll progress, stream incremental results")
+    parser.add_argument("--store", metavar="DIR", required=True,
+                        help="result-store directory shared with the batch "
+                             "commands (created if missing)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="bind port; 0 picks an ephemeral one "
+                             "(default 8765)")
+    _add_jobs_argument(parser)
+    parser.set_defaults(func=_cmd_serve)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.store.server import create_server
+
+    try:
+        server = create_server(args.store, host=args.host, port=args.port,
+                               jobs=args.jobs)
+    except OSError as error:
+        print(f"error: cannot bind {args.host}:{args.port} ({error})",
+              file=sys.stderr)
+        return 2
+    host, port = server.server_address[0], server.server_address[1]
+    print(f"serving on http://{host}:{port} (store: {args.store})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass  # clean shutdown; jobs persist in the store
+    finally:
+        server.server_close()
     return 0
 
 
@@ -533,7 +625,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         for violation in (original_violations + replay_violations)[:10]:
             print(f"  {violation}")
         if args.out:
-            with open(args.out, "w") as stream:
+            with open_export(args.out) as stream:
                 write_trace(result.commands, stream)
             print(f"re-scheduled trace written to {args.out}")
         return 1 if original_violations or replay_violations else 0
@@ -554,7 +646,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     for violation in violations[:10]:
         print(f"  {violation}")
     if args.out:
-        with open(args.out, "w") as stream:
+        with open_export(args.out) as stream:
             count = write_trace(result.commands, stream)
         print(f"trace written to {args.out} ({count} commands)")
     return 1 if violations else 0
@@ -619,6 +711,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign(subparsers)
     _add_e2e(subparsers)
     _add_provision(subparsers)
+    _add_serve(subparsers)
     _add_trace(subparsers)
     _add_configs(subparsers)
     _add_lint(subparsers)

@@ -25,9 +25,12 @@ Design rules mirrored from the sweep engine:
   environments silently fall back to the serial path with identical
   results.
 
-Campaigns can be long; ``cache_dir`` gives every cell an on-disk JSON
-entry keyed by a hash of its full configuration, so an interrupted
-campaign resumes without recomputing finished cells (``--resume``).
+Campaigns can be long; results persist in the content-addressed
+:class:`repro.store.store.ResultStore` (``store`` / ``cache_dir``), one
+atomic JSON entry per cell keyed by a hash of its full configuration,
+so an interrupted campaign resumes without recomputing finished cells
+(``--resume``) and other consumers — the ``repro serve`` job engine,
+later CLI invocations — reuse the same entries.
 """
 
 from __future__ import annotations
@@ -36,11 +39,19 @@ import csv
 import hashlib
 import json
 import math
-import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+)
 
 import numpy as np
 
@@ -49,6 +60,9 @@ from repro.channel.gilbert_elliott import GilbertElliottParams
 from repro.interleaver.two_stage import TwoStageConfig
 from repro.system.downlink import OpticalDownlink
 from repro.system.parallel import resolve_jobs
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store -> campaign)
+    from repro.store.store import ResultStore
 
 #: Bump when the cell evaluation or result schema changes: stale cache
 #: entries from older code must miss, not resurface.
@@ -301,39 +315,12 @@ def campaign_grid(
     return cells
 
 
-def _cache_path(cache_dir: str, cell: CampaignCell) -> str:
-    return os.path.join(cache_dir, f"{cell.cache_key()}.json")
-
-
-def _load_cached(cache_dir: str, cell: CampaignCell) -> Optional[CellResult]:
-    path = _cache_path(cache_dir, cell)
-    try:
-        with open(path) as stream:
-            data = json.load(stream)
-    except (OSError, ValueError):
-        return None
-    try:
-        result = CellResult.from_dict(data)
-    except (KeyError, TypeError, ValueError):
-        return None  # stale/foreign entry: recompute
-    if result.cell != cell:
-        return None  # hash collision or hand-edited file
-    return result
-
-
-def _store_cached(cache_dir: str, result: CellResult) -> None:
-    path = _cache_path(cache_dir, result.cell)
-    tmp = path + ".tmp"
-    with open(tmp, "w") as stream:
-        json.dump(result.to_dict(), stream, sort_keys=True)
-    os.replace(tmp, path)  # atomic: a killed campaign never leaves torn entries
-
-
 def run_campaign(
     cells: Iterable[CampaignCell],
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
     resume: bool = False,
+    store: Optional["ResultStore"] = None,
 ) -> List[CellResult]:
     """Evaluate cells, parallel when asked, and return results in order.
 
@@ -341,23 +328,30 @@ def run_campaign(
         cells: work items; results come back in the same order.
         jobs: worker processes (see
             :func:`repro.system.parallel.resolve_jobs`).
-        cache_dir: directory for per-cell result files; created if
-            missing.  Finished cells are always written.
-        resume: reuse existing cache entries instead of recomputing
-            (entries whose configuration hash does not match are
-            recomputed, never trusted).
+        cache_dir: directory for a per-cell result store; created if
+            missing.  Shorthand for ``store=ResultStore(cache_dir)``,
+            kept for API compatibility with the PR 2 cache.
+        resume: reuse existing store entries instead of recomputing
+            (entries whose configuration does not match are recomputed,
+            never trusted; unreadable entries warn once to stderr).
+        store: the shared :class:`~repro.store.store.ResultStore` to
+            persist finished cells into (always written).  Takes
+            precedence over ``cache_dir``.
 
     Results are bit-identical for any ``jobs`` value: every cell's
     randomness comes from its own seed, and the pool falls back to the
     serial path when worker processes cannot be spawned.
     """
+    if store is None and cache_dir:
+        # Imported here to avoid a circular import at module load time
+        # (the store's record schema imports this module).
+        from repro.store.store import ResultStore
+        store = ResultStore(cache_dir)
     cell_list: List[CampaignCell] = list(cells)
     results: List[Optional[CellResult]] = [None] * len(cell_list)
-    if cache_dir:
-        os.makedirs(cache_dir, exist_ok=True)
-        if resume:
-            for index, cell in enumerate(cell_list):
-                results[index] = _load_cached(cache_dir, cell)
+    if store is not None and resume:
+        for index, cell in enumerate(cell_list):
+            results[index] = store.load_campaign(cell)
     pending = [index for index, result in enumerate(results) if result is None]
     workers = min(resolve_jobs(jobs), len(pending)) if pending else 0
 
@@ -366,8 +360,8 @@ def run_campaign(
         # campaign must be resumable from the last completed cell, not
         # from zero.
         results[index] = result
-        if cache_dir:
-            _store_cached(cache_dir, result)
+        if store is not None:
+            store.store_campaign(result)
 
     if workers > 1:
         try:
@@ -560,6 +554,24 @@ def format_campaign(summaries: Sequence[CampaignSummary]) -> str:
     lines.append("(CWER = code-word failure rate; gain = pooled base/intl ratio; "
                  "worst = max errors in any interleaved code word)")
     return "\n".join(lines)
+
+
+def campaign_report(results: Sequence[CellResult],
+                    summaries: Sequence[CampaignSummary]) -> str:
+    """The campaign's full stdout report: size header plus table.
+
+    Shared verbatim by ``repro campaign`` and the ``repro serve`` job
+    engine's ``/jobs/<id>/table`` endpoint, so the two can never drift
+    apart — the serve smoke test diffs them byte for byte.
+
+    Args:
+        results: per-cell outcomes (sizes the header line).
+        summaries: pooled per-configuration rows (the table body).
+    """
+    header = (f"campaign: {len(results)} cells, "
+              f"{sum(r.cell.frames for r in results)} frames, "
+              f"{sum(r.codewords for r in results)} code words per arm")
+    return header + "\n" + format_campaign(summaries)
 
 
 def export_json(results: Sequence[CellResult],

@@ -20,7 +20,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
 from repro.dram.controller import OP_READ, OP_WRITE, ControllerConfig
 from repro.dram.mixed import MixedResult
@@ -34,6 +34,9 @@ from repro.dram.simulator import (
 from repro.dram.stats import PhaseStats
 from repro.interleaver.triangular import TriangularIndexSpace
 from repro.system.e2e import E2ECell, E2EResult, run_e2e
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store -> parallel)
+    from repro.store.store import ResultStore
 
 
 @dataclass(frozen=True)
@@ -262,9 +265,52 @@ def _run_tasks(worker: Callable[[Any], Any], tasks: Iterable[Any],
     return [worker(task) for task in task_list]
 
 
+def _run_tasks_stored(
+    worker: Callable[[Any], Any],
+    tasks: Iterable[Any],
+    jobs: Optional[int],
+    load: Callable[[Any], Any],
+    save: Callable[[Any, Any], None],
+) -> List[Any]:
+    """The store-aware twin of :func:`_run_tasks`.
+
+    Store hits skip the worker entirely (the cross-sweep-reuse
+    invocation-counting tests rely on that); misses run on the pool and
+    persist *the moment each result arrives*, so an interrupted sweep
+    resumes from its last completed cell — the same discipline as the
+    campaign engine.  Results are bit-identical to the storeless path:
+    a hit returns the exact record a previous run computed, and records
+    round-trip exactly.
+    """
+    task_list = list(tasks)
+    results: List[Any] = [load(task) for task in task_list]
+    pending = [index for index, result in enumerate(results)
+               if result is None]
+    workers = min(resolve_jobs(jobs), len(pending)) if pending else 0
+
+    def record(index: int, result: Any) -> None:
+        results[index] = result
+        save(task_list[index], result)
+
+    if workers > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                ordered = pool.map(worker,
+                                   [task_list[index] for index in pending])
+                for index, result in zip(pending, ordered):
+                    record(index, result)
+        except (OSError, BrokenProcessPool, PermissionError):
+            pass  # fall through to the serial path for whatever is left
+    for index in pending:
+        if results[index] is None:
+            record(index, worker(task_list[index]))
+    return results
+
+
 def run_phase_tasks(
     tasks: Iterable[PhaseTask],
     jobs: Optional[int] = None,
+    store: Optional["ResultStore"] = None,
 ) -> List[PhaseStats]:
     """Execute phase tasks, parallel when asked, results in order.
 
@@ -272,13 +318,19 @@ def run_phase_tasks(
         tasks: work items; results come back in the same order.
         jobs: worker processes (see :func:`resolve_jobs`).  With one
             worker — or one task — everything runs in-process.
+        store: optional shared result store — hits skip simulation,
+            misses are persisted as they finish.
     """
-    return _run_tasks(execute_phase_task, tasks, jobs)
+    if store is None:
+        return _run_tasks(execute_phase_task, tasks, jobs)
+    return _run_tasks_stored(execute_phase_task, tasks, jobs,
+                             store.load_phase, store.store_phase)
 
 
 def run_mixed_tasks(
     tasks: Iterable[MixedTask],
     jobs: Optional[int] = None,
+    store: Optional["ResultStore"] = None,
 ) -> List[MixedResult]:
     """Execute steady-state mixed-traffic tasks.
 
@@ -287,28 +339,41 @@ def run_mixed_tasks(
     Args:
         tasks: work items; results come back in the same order.
         jobs: worker processes (see :func:`resolve_jobs`).
+        store: optional shared result store.
     """
-    return _run_tasks(execute_mixed_task, tasks, jobs)
+    if store is None:
+        return _run_tasks(execute_mixed_task, tasks, jobs)
+    return _run_tasks_stored(execute_mixed_task, tasks, jobs,
+                             store.load_mixed, store.store_mixed)
 
 
 def run_interleaver_tasks(
     tasks: Iterable[InterleaverTask],
     jobs: Optional[int] = None,
+    store: Optional["ResultStore"] = None,
 ) -> List[InterleaverSimResult]:
     """Execute full-frame interleaver tasks.
 
-    Same contract as :func:`run_phase_tasks`.
+    Same contract as :func:`run_phase_tasks`.  With a store, each cell
+    is persisted (and looked up) as its two *phase* records, so a
+    ``table1`` run and an ``energy`` run over the same (config,
+    mapping, n) grid share work in either direction.
 
     Args:
         tasks: work items; results come back in the same order.
         jobs: worker processes (see :func:`resolve_jobs`).
+        store: optional shared result store.
     """
-    return _run_tasks(execute_interleaver_task, tasks, jobs)
+    if store is None:
+        return _run_tasks(execute_interleaver_task, tasks, jobs)
+    return _run_tasks_stored(execute_interleaver_task, tasks, jobs,
+                             store.load_interleaver, store.store_interleaver)
 
 
 def run_e2e_tasks(
     tasks: Iterable[E2ETask],
     jobs: Optional[int] = None,
+    store: Optional["ResultStore"] = None,
 ) -> List[E2EResult]:
     """Execute end-to-end co-simulation tasks.
 
@@ -319,5 +384,11 @@ def run_e2e_tasks(
     Args:
         tasks: work items; results come back in the same order.
         jobs: worker processes (see :func:`resolve_jobs`).
+        store: optional shared result store.
     """
-    return _run_tasks(execute_e2e_task, tasks, jobs)
+    if store is None:
+        return _run_tasks(execute_e2e_task, tasks, jobs)
+    return _run_tasks_stored(
+        execute_e2e_task, tasks, jobs,
+        lambda task: store.load_e2e(task.cell),
+        lambda task, result: store.store_e2e(task.cell, result))

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.channel.codeword import CodewordConfig
 from repro.channel.gilbert_elliott import GilbertElliottParams, coherence_params
@@ -45,6 +45,9 @@ from repro.system.parallel import (
     run_mixed_tasks,
     run_phase_tasks,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store -> sweep deps)
+    from repro.store.store import ResultStore
 
 #: Mapping factory signature: (space, geometry) -> mapping.
 MappingFactory = Callable[[TriangularIndexSpace, object], InterleaverMapping]
@@ -119,6 +122,7 @@ def run_table1(
     policy: Optional[ControllerConfig] = None,
     jobs: Optional[int] = None,
     use_arrays: Optional[bool] = None,
+    store: Optional["ResultStore"] = None,
 ) -> List[Table1Row]:
     """Regenerate Table I at triangle size ``n``.
 
@@ -135,6 +139,9 @@ def run_table1(
             ``0`` = all cores).
         use_arrays: forwarded to the simulator (``None`` auto-selects
             the vectorized address path).
+        store: optional shared result store — cells persisted by any
+            prior sweep (including ``energy``) are reused, the rest
+            are written back for later runs.
     """
     mapping_names = ("row-major", "optimized")
     ops = (OP_WRITE, OP_READ)
@@ -145,7 +152,7 @@ def run_table1(
         for mapping_name in mapping_names
         for op in ops
     ]
-    stats = run_phase_tasks(tasks, jobs=jobs)
+    stats = run_phase_tasks(tasks, jobs=jobs, store=store)
     rows = []
     cursor = 0
     for config_name in config_names:
@@ -222,6 +229,7 @@ def run_mixed_table(
     group: int = 16,
     policy: Optional[ControllerConfig] = None,
     jobs: Optional[int] = None,
+    store: Optional["ResultStore"] = None,
 ) -> List[MixedRow]:
     """Steady-state interleaved read/write utilization, Table I layout.
 
@@ -240,6 +248,7 @@ def run_mixed_table(
             (larger groups amortize the turnaround penalty).
         policy: controller policy overrides applied to every cell.
         jobs: worker processes (``None``/``1`` serial, ``0`` = all cores).
+        store: optional shared result store (hits skip simulation).
     """
     mapping_names = ("row-major", "optimized")
     tasks = [
@@ -248,7 +257,7 @@ def run_mixed_table(
         for config_name in config_names
         for mapping_name in mapping_names
     ]
-    results = run_mixed_tasks(tasks, jobs=jobs)
+    results = run_mixed_tasks(tasks, jobs=jobs, store=store)
     return [
         MixedRow(
             config_name=task.config_name,
@@ -322,6 +331,7 @@ def run_energy_table(
     config_names: Sequence[str] = TABLE1_CONFIG_NAMES,
     policy: Optional[ControllerConfig] = None,
     jobs: Optional[int] = None,
+    store: Optional["ResultStore"] = None,
 ) -> List[EnergyRow]:
     """Energy per interleaver frame, both mappings x every configuration.
 
@@ -337,6 +347,10 @@ def run_energy_table(
         config_names: subset of Table I configurations.
         policy: controller policy overrides applied to every cell.
         jobs: worker processes (``None``/``1`` serial, ``0`` = all cores).
+        store: optional shared result store — each cell is keyed as its
+            two *phase* records, so an ``energy`` run reuses the exact
+            entries a prior ``table1`` run at the same ``n`` persisted
+            (and vice versa) with zero redundant engine invocations.
     """
     mapping_names = ("row-major", "optimized")
     tasks = [
@@ -345,7 +359,7 @@ def run_energy_table(
         for config_name in config_names
         for mapping_name in mapping_names
     ]
-    results = run_interleaver_tasks(tasks, jobs=jobs)
+    results = run_interleaver_tasks(tasks, jobs=jobs, store=store)
     rows = []
     for task, result in zip(tasks, results):
         config = get_config(task.config_name)
@@ -484,6 +498,7 @@ def run_e2e_table(
     seed: int = 2024,
     policy: Optional[ControllerConfig] = None,
     jobs: Optional[int] = None,
+    store: Optional["ResultStore"] = None,
 ) -> List[E2ERow]:
     """The joint downlink -> DRAM co-simulation table.
 
@@ -509,6 +524,7 @@ def run_e2e_table(
         seed: channel RNG seed shared by every cell.
         policy: controller policy overrides applied to every cell.
         jobs: worker processes (``None``/``1`` serial, ``0`` = all cores).
+        store: optional shared result store (hits skip co-simulation).
 
     Returns:
         One :class:`E2ERow` per (configuration, mapping) cell, in grid
@@ -519,7 +535,8 @@ def run_e2e_table(
                      symbols_per_element=symbols_per_element,
                      codeword_symbols=codeword_symbols,
                      t_correctable=t_correctable, seed=seed, policy=policy)
-    results = run_e2e_tasks([E2ETask(cell=cell) for cell in cells], jobs=jobs)
+    results = run_e2e_tasks([E2ETask(cell=cell) for cell in cells], jobs=jobs,
+                            store=store)
     return [
         E2ERow(config_name=cell.config_name, mapping_name=cell.mapping,
                result=result)

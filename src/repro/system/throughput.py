@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.dram.energy import EnergyReport
 from repro.dram.presets import DramConfig
@@ -267,3 +267,73 @@ def energy_pareto(
     return sorted(points, key=lambda p: (p.sustained_gbit, p.power_mw,
                                          p.report.config_name,
                                          p.report.mapping_name))
+
+
+#: Column order of the provisioning CSV export (one row per choice).
+PROVISION_CSV_FIELDS = (
+    "rank", "config_name", "mapping_name", "channels", "sustained_gbit",
+    "total_peak_gbit", "oversizing_factor",
+)
+
+
+def provision_csv_rows(
+    choices: Sequence[ProvisioningChoice],
+) -> List[Dict[str, Any]]:
+    """Flatten ranked provisioning choices into CSV rows.
+
+    One :data:`PROVISION_CSV_FIELDS` row per choice, ranked 1..N in the
+    given (cheapest-first) order — the machine-readable face of the
+    ``repro provision`` table, exported through the store-level CSV
+    writer.
+
+    Args:
+        choices: ranked output of :func:`provision`.
+    """
+    rows = []
+    for rank, choice in enumerate(choices, start=1):
+        rows.append({
+            "rank": rank,
+            "config_name": choice.report.config_name,
+            "mapping_name": choice.report.mapping_name,
+            "channels": choice.channels,
+            "sustained_gbit": choice.report.sustained_gbit * choice.channels,
+            "total_peak_gbit": choice.total_peak_gbit,
+            "oversizing_factor": choice.oversizing_factor,
+        })
+    return rows
+
+
+#: Column order of the Pareto CSV export (one row per point).
+PARETO_CSV_FIELDS = (
+    "config_name", "mapping_name", "channels", "sustained_gbit",
+    "total_peak_gbit", "pj_per_bit", "channel_power_mw", "power_mw",
+    "on_frontier",
+)
+
+
+def pareto_csv_rows(
+    points: Sequence[EnergyProvisioningPoint],
+) -> List[Dict[str, Any]]:
+    """Flatten energy-Pareto points into CSV rows.
+
+    One :data:`PARETO_CSV_FIELDS` row per point in the given order —
+    the machine-readable face of the ``repro energy`` Pareto chart
+    (``on_frontier`` is exported as ``0``/``1``).
+
+    Args:
+        points: output of :func:`energy_pareto`.
+    """
+    rows = []
+    for point in points:
+        rows.append({
+            "config_name": point.report.config_name,
+            "mapping_name": point.report.mapping_name,
+            "channels": point.channels,
+            "sustained_gbit": point.sustained_gbit,
+            "total_peak_gbit": point.total_peak_gbit,
+            "pj_per_bit": point.pj_per_bit,
+            "channel_power_mw": point.channel_power_mw,
+            "power_mw": point.power_mw,
+            "on_frontier": int(point.on_frontier),
+        })
+    return rows

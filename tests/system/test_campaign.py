@@ -251,7 +251,7 @@ class TestCache:
         entry = os.path.join(cache_dir, os.listdir(cache_dir)[0])
         with open(entry) as stream:
             data = json.load(stream)
-        data["cell"]["seed"] = 999  # entry now lies about its config
+        data["payload"]["cell"]["seed"] = 999  # entry lies about its config
         with open(entry, "w") as stream:
             json.dump(data, stream)
         results = run_campaign(cells, cache_dir=cache_dir, resume=True)

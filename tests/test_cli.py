@@ -364,3 +364,117 @@ class TestProvision:
     def test_rejects_unknown_config(self, capsys):
         assert main(["provision", "--configs", "NOPE"]) == 2
         capsys.readouterr()
+
+
+class TestStoreFlag:
+    """The shared --store flag and the store-backed resume/export paths."""
+
+    def test_serve_command_registered(self):
+        assert "serve" in build_parser().format_help()
+
+    def test_campaign_store_resume_is_byte_identical(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(CAMPAIGN_SMALL + ["--store", store]) == 0
+        first = capsys.readouterr().out
+        assert main(CAMPAIGN_SMALL + ["--store", store, "--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_resume_error_mentions_both_spellings(self, capsys):
+        assert main(CAMPAIGN_SMALL + ["--resume"]) == 2
+        err = capsys.readouterr().err
+        assert "--cache-dir" in err and "--store" in err
+
+    def test_resume_accepts_store_without_cache_dir(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(CAMPAIGN_SMALL + ["--store", store, "--resume"]) == 0
+        capsys.readouterr()
+
+    def test_table1_store_roundtrip(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = ["table1", "--n", "16", "--configs", "DDR4-3200",
+                "--store", store]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        import os as os_module
+        assert any(name.startswith("phase-")
+                   for name in os_module.listdir(store))
+
+    def test_energy_reuses_table1_store_via_cli(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["energy", "--n", "16", "--configs", "DDR4-3200",
+                     "--no-pareto"]) == 0
+        cold = capsys.readouterr().out
+        assert main(["table1", "--n", "16", "--configs", "DDR4-3200",
+                     "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["energy", "--n", "16", "--configs", "DDR4-3200",
+                     "--no-pareto", "--store", store]) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_mixed_store_roundtrip(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = ["mixed", "--n", "16", "--configs", "DDR4-3200",
+                "--store", store]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_e2e_store_roundtrip(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = E2E_SMALL + ["--no-chart", "--store", store]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestExportPaths:
+    """open_export discipline: nested directories and CSV newline bytes."""
+
+    def test_campaign_exports_into_missing_directory(self, tmp_path, capsys):
+        json_path = tmp_path / "out" / "deep" / "cells.json"
+        csv_path = tmp_path / "out" / "deep" / "cells.csv"
+        assert main(CAMPAIGN_SMALL + ["--json", str(json_path),
+                                      "--csv", str(csv_path)]) == 0
+        capsys.readouterr()
+        assert json_path.exists()
+        body = csv_path.read_bytes()
+        assert b"\r\r" not in body
+        assert body.count(b"\r\n") == 3  # header + 2 cells, csv-style rows
+
+    def test_energy_csv_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "nested" / "pareto.csv"
+        assert main(["energy", "--n", "16", "--configs", "DDR4-3200",
+                     "--csv", str(csv_path)]) == 0
+        capsys.readouterr()
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0] == ("config_name,mapping_name,channels,"
+                            "sustained_gbit,total_peak_gbit,pj_per_bit,"
+                            "channel_power_mw,power_mw,on_frontier")
+        assert len(lines) == 1 + 2 * 4  # 2 mappings x 4 channel counts
+        assert all(line.split(",")[-1] in ("0", "1") for line in lines[1:])
+
+    def test_energy_csv_conflicts_with_no_pareto(self, tmp_path, capsys):
+        assert main(["energy", "--n", "16", "--configs", "DDR4-3200",
+                     "--no-pareto", "--csv", str(tmp_path / "x.csv")]) == 2
+        assert "--no-pareto" in capsys.readouterr().err
+
+    def test_provision_csv_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "nested" / "provision.csv"
+        assert main(["provision", "--n", "48", "--target-gbit", "50",
+                     "--configs", "DDR3-800", "DDR4-3200",
+                     "--csv", str(csv_path)]) == 0
+        capsys.readouterr()
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].startswith("rank,config_name,mapping_name,channels")
+        assert len(lines) == 1 + 4  # 2 configs x 2 mappings
+        assert [line.split(",")[0] for line in lines[1:]] == ["1", "2", "3", "4"]
+
+    def test_trace_out_into_missing_directory(self, tmp_path, capsys):
+        out = tmp_path / "traces" / "run" / "t.jsonl"
+        assert main(["trace", "--n", "24", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert out.exists()
