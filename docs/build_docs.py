@@ -57,6 +57,7 @@ SKIP_MODULES = ("repro.__main__",)
 PAGES = (
     ("index", "Overview"),
     ("architecture", "Architecture"),
+    ("kernel", "Scheduling kernel"),
     ("reproduction", "Reproduction guide"),
     ("analysis", "Static analysis"),
     ("store", "Result store & serving"),

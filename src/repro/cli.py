@@ -27,7 +27,12 @@ and ``campaign`` also accept ``--store DIR``, the shared
 content-addressed result store: cells already persisted by *any*
 earlier run — the same command, a different sweep over the same
 (config, mapping, n) cells, or the ``serve`` job engine — are reused
-instead of re-simulated, byte-identically.
+instead of re-simulated, byte-identically.  ``table1``, ``mixed``,
+``ablation`` and ``energy`` additionally accept ``--kernel`` to
+schedule through the batch-advance kernel engine
+(:mod:`repro.dram.kernel`): results and store keys are bit-identical
+to the reference arbiter, only faster, so kernel and reference runs
+share cache entries freely.
 
 Every command prints plain text and exits non-zero on bad arguments, so
 the CLI is scriptable from shell pipelines.
@@ -44,7 +49,7 @@ import numpy as np
 
 from repro.channel.codeword import CodewordConfig
 from repro.channel.gilbert_elliott import GilbertElliottParams, coherence_params
-from repro.dram.controller import ControllerConfig
+from repro.dram.controller import ENGINE_GENERAL, ENGINE_KERNEL, ControllerConfig
 from repro.dram.presets import TABLE1_CONFIG_NAMES, all_configs, get_config
 from repro.dram.simulator import simulate_interleaver
 from repro.interleaver.triangular import RectangularIndexSpace, TriangularIndexSpace
@@ -98,6 +103,19 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
                              "(0 = all cores, default 1 = serial)")
 
 
+def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--kernel", action="store_true",
+                        help="schedule through the batch-advance kernel "
+                             "engine instead of the reference arbiter "
+                             "(bit-identical results, faster; shares "
+                             "store entries with reference runs)")
+
+
+def _engine_from(args: argparse.Namespace) -> str:
+    """The ``engine=`` hook value a CLI invocation selected."""
+    return ENGINE_KERNEL if getattr(args, "kernel", False) else ENGINE_GENERAL
+
+
 def _add_store_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--store", metavar="DIR",
                         help="shared content-addressed result store: reuse "
@@ -119,6 +137,7 @@ def _add_table1(subparsers: Any) -> None:
                         help="subset of configurations (default: all ten)")
     _add_jobs_argument(parser)
     _add_store_argument(parser)
+    _add_kernel_argument(parser)
     parser.set_defaults(func=_cmd_table1)
 
 
@@ -130,7 +149,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         return 2
     policy = ControllerConfig(refresh_enabled=not args.no_refresh)
     rows = run_table1(n=args.n, config_names=names, policy=policy,
-                      jobs=args.jobs, store=_open_store(args))
+                      jobs=args.jobs, store=_open_store(args),
+                      engine=_engine_from(args))
     print(format_table1(rows))
     return 0
 
@@ -150,6 +170,7 @@ def _add_mixed(subparsers: Any) -> None:
                         help="subset of configurations (default: all ten)")
     _add_jobs_argument(parser)
     _add_store_argument(parser)
+    _add_kernel_argument(parser)
     parser.set_defaults(func=_cmd_mixed)
 
 
@@ -165,7 +186,8 @@ def _cmd_mixed(args: argparse.Namespace) -> int:
     policy = ControllerConfig(refresh_enabled=not args.no_refresh)
     rows = run_mixed_table(n=args.n, config_names=names, group=args.group,
                            policy=policy, jobs=args.jobs,
-                           store=_open_store(args))
+                           store=_open_store(args),
+                           engine=_engine_from(args))
     print(format_mixed_table(rows))
     return 0
 
@@ -180,6 +202,7 @@ def _add_ablation(subparsers: Any) -> None:
     parser.add_argument("--variants", nargs="*", metavar="VARIANT",
                         help="subset of ablation variants (default: all)")
     _add_jobs_argument(parser)
+    _add_kernel_argument(parser)
     parser.set_defaults(func=_cmd_ablation)
 
 
@@ -197,7 +220,7 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
               f"known: {sorted(known_variants)}", file=sys.stderr)
         return 2
     points = sweep_ablation(config_names=names, n=args.n, variants=variants,
-                            jobs=args.jobs)
+                            jobs=args.jobs, engine=_engine_from(args))
     print(f"{'configuration':14s} {'variant':18s} {'write':>8s} {'read':>8s} {'min':>8s}")
     for point in points:
         print(f"{point.config_name:14s} {point.variant:18s} "
@@ -227,6 +250,7 @@ def _add_energy(subparsers: Any) -> None:
                              "point")
     _add_jobs_argument(parser)
     _add_store_argument(parser)
+    _add_kernel_argument(parser)
     parser.set_defaults(func=_cmd_energy)
 
 
@@ -245,7 +269,8 @@ def _cmd_energy(args: argparse.Namespace) -> int:
         return 2
     policy = ControllerConfig(refresh_enabled=not args.no_refresh)
     rows = run_energy_table(n=args.n, config_names=names, policy=policy,
-                            jobs=args.jobs, store=_open_store(args))
+                            jobs=args.jobs, store=_open_store(args),
+                            engine=_engine_from(args))
     print(format_energy_table(rows))
     if not args.no_pareto:
         cells = [

@@ -1,0 +1,512 @@
+"""Native backend for the batch-advance scheduling kernel.
+
+The kernel's hot loop (:mod:`repro.dram.kernel`) has two
+implementations: a pure-Python port of the general engine and this
+compiled *segment loop*.  The segment loop runs the eval / commit /
+arbitrate / pop / admit cycle over the flat int64 state tables and
+returns to Python only at **refresh boundaries** (and when the
+command-record buffer needs growing), so the Python
+:class:`~repro.dram.refresh.RefreshScheduler` is never duplicated: the
+wrapper in :mod:`repro.dram.kernel` applies refresh events on the same
+arrays the compiled code mutates and re-enters the segment.
+
+The backend is strictly optional.  It compiles one translation unit
+with the system C compiler at first use (cached per source hash under
+the user's temp directory, override with ``REPRO_KERNELC_CACHE``) and
+loads it through ``cffi``.  When a compiler or ``cffi`` is
+unavailable — or ``REPRO_KERNEL_NATIVE=0`` is set — :func:`load`
+returns ``None`` and the kernel transparently falls back to its
+pure-Python loop, which is bit-identical by the same differential
+batteries.
+
+All arithmetic is exact int64: timestamps in this project stay below
+``10**15`` picoseconds and the far-future sentinel is ``10**18``, so no
+intermediate sum can overflow.  The one C-vs-Python arithmetic
+difference, truncating vs flooring ``%``, is handled by the
+``QUANTIZE`` helper which reproduces Python's floor-mod for negative
+operands (the issue-slot bound is legitimately negative before the
+first CAS of a phase).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import tempfile
+from shutil import which
+from typing import Any, Optional, Tuple
+
+#: Scalar-slot indices shared with the C side (keep in sync with the
+#: ``S_*`` enum in :data:`SOURCE`).
+(S_LAST_CAS, S_LAST_ACT, S_LAST_ACT_BG, S_FAW_IDX, S_BUS_FREE,
+ S_LAST_DATA_END, S_POS, S_QUEUED, S_N_REQUESTS, S_HITS, S_MISSES,
+ S_EMPTIES, S_ACTS, S_PRES, S_RESCAN_ALL, S_HAVE_DEADLINE, S_DEADLINE,
+ S_READY_COUNT, S_HEAP_SIZE, S_FRESH_COUNT, S_REC_COUNT) = range(21)
+N_SCALARS = 21
+
+#: Config-slot indices shared with the C side (``C_*`` enum).
+(C_N_BANKS, C_BANK_GROUPS, C_TCK, C_QUANT, C_TRP, C_TRCD, C_TRAS,
+ C_TRRD_S, C_TRRD_L, C_TFAW, C_TCCD_S, C_TCCD_L, C_TWR, C_TRTP,
+ C_IS_READ, C_LATENCY, C_BURST, C_QUEUE_DEPTH, C_PER_BANK_DEPTH,
+ C_RECORD, C_N, C_REC_CAP) = range(22)
+N_CFG = 22
+
+#: Segment-exit reasons returned by ``run_segment``.
+EXIT_DONE = 0
+EXIT_REFRESH = 1
+EXIT_RECORD_FULL = 2
+EXIT_DEADLOCK = 3
+
+#: Command kinds in the record columns (decoded by the kernel wrapper).
+#: ``REC_REF`` is written by the Python refresh section only; the C
+#: side records ACT/PRE/CAS.
+REC_ACT = 0
+REC_PRE = 1
+REC_CAS = 2
+REC_REF = 3
+
+CDEF = """
+int64_t run_segment(const int64_t *cfg, int64_t *sc,
+    const int64_t *banks, const int64_t *rows, const int64_t *cols,
+    const int64_t *qseqs, const int64_t *qstart,
+    int64_t *head, int64_t *adm, int64_t *bstate,
+    int64_t *open_row, int64_t *act_time, int64_t *cas_allowed,
+    int64_t *pre_allowed, int64_t *act_allowed,
+    const int64_t *bg_of, int64_t *last_cas_bg, int64_t *faw_ring,
+    int64_t *fresh, int64_t *heap, int64_t *rec);
+"""
+
+SOURCE = r"""
+#include <stdint.h>
+
+#define FAR_PAST   (-1000000000000000LL)
+#define FAR_FUTURE (1000000000000000000LL)
+
+enum { S_LAST_CAS, S_LAST_ACT, S_LAST_ACT_BG, S_FAW_IDX, S_BUS_FREE,
+  S_LAST_DATA_END, S_POS, S_QUEUED, S_N_REQUESTS, S_HITS, S_MISSES,
+  S_EMPTIES, S_ACTS, S_PRES, S_RESCAN_ALL, S_HAVE_DEADLINE, S_DEADLINE,
+  S_READY_COUNT, S_HEAP_SIZE, S_FRESH_COUNT, S_REC_COUNT };
+
+enum { C_N_BANKS, C_BANK_GROUPS, C_TCK, C_QUANT, C_TRP, C_TRCD, C_TRAS,
+  C_TRRD_S, C_TRRD_L, C_TFAW, C_TCCD_S, C_TCCD_L, C_TWR, C_TRTP,
+  C_IS_READ, C_LATENCY, C_BURST, C_QUEUE_DEPTH, C_PER_BANK_DEPTH,
+  C_RECORD, C_N, C_REC_CAP };
+
+enum { REC_ACT = 0, REC_PRE = 1, REC_CAS = 2 };
+
+/* Python floor-mod quantization: round v up to the command-clock grid.
+ * C's % truncates toward zero; Python's floors, and the issue-slot
+ * bound is negative before the first CAS of a phase, so the remainder
+ * must be normalized into [0, tck). */
+static inline int64_t quantize(int64_t v, int64_t tck) {
+    int64_t r = v % tck;
+    if (r < 0) r += tck;
+    if (r) v += tck - r;
+    return v;
+}
+
+/* Deferred-activation entries, 5 int64 columns per slot (same fields
+ * as the general engine's heap tuples).  The store is an unsorted
+ * array: entries carry distinct banks, so (act_ready, bank) is a total
+ * order and min-extraction visits entries in exactly the order the
+ * general engine's binary heap pops them. */
+#define H_T(i)   heap[(i) * 5 + 0]
+#define H_B(i)   heap[(i) * 5 + 1]
+#define H_P(i)   heap[(i) * 5 + 2]
+#define H_E(i)   heap[(i) * 5 + 3]
+#define H_R(i)   heap[(i) * 5 + 4]
+
+int64_t run_segment(const int64_t *cfg, int64_t *sc,
+    const int64_t *banks, const int64_t *rows, const int64_t *cols,
+    const int64_t *qseqs, const int64_t *qstart,
+    int64_t *head, int64_t *adm, int64_t *bstate,
+    int64_t *open_row, int64_t *act_time, int64_t *cas_allowed,
+    int64_t *pre_allowed, int64_t *act_allowed,
+    const int64_t *bg_of, int64_t *last_cas_bg, int64_t *faw_ring,
+    int64_t *fresh, int64_t *heap, int64_t *rec)
+{
+    const int64_t n_banks = cfg[C_N_BANKS];
+    const int64_t tck = cfg[C_TCK];
+    const int64_t quant = cfg[C_QUANT];
+    const int64_t trp = cfg[C_TRP];
+    const int64_t trcd = cfg[C_TRCD];
+    const int64_t tras = cfg[C_TRAS];
+    const int64_t trrd_s = cfg[C_TRRD_S];
+    const int64_t trrd_l = cfg[C_TRRD_L];
+    const int64_t tfaw = cfg[C_TFAW];
+    const int64_t tccd_s = cfg[C_TCCD_S];
+    const int64_t tccd_l = cfg[C_TCCD_L];
+    const int64_t twr = cfg[C_TWR];
+    const int64_t trtp = cfg[C_TRTP];
+    const int64_t is_read = cfg[C_IS_READ];
+    const int64_t latency = cfg[C_LATENCY];
+    const int64_t burst = cfg[C_BURST];
+    const int64_t queue_depth = cfg[C_QUEUE_DEPTH];
+    const int64_t per_bank_depth = cfg[C_PER_BANK_DEPTH];
+    const int64_t do_record = cfg[C_RECORD];
+    const int64_t nreq = cfg[C_N];
+    const int64_t rec_cap = cfg[C_REC_CAP];
+
+    int64_t last_cas = sc[S_LAST_CAS];
+    int64_t last_act = sc[S_LAST_ACT];
+    int64_t last_act_bg = sc[S_LAST_ACT_BG];
+    int64_t faw_idx = sc[S_FAW_IDX];
+    int64_t bus_free = sc[S_BUS_FREE];
+    int64_t last_data_end = sc[S_LAST_DATA_END];
+    int64_t pos = sc[S_POS];
+    int64_t queued = sc[S_QUEUED];
+    int64_t n_requests = sc[S_N_REQUESTS];
+    int64_t hits = sc[S_HITS];
+    int64_t misses = sc[S_MISSES];
+    int64_t empties = sc[S_EMPTIES];
+    int64_t acts = sc[S_ACTS];
+    int64_t pres = sc[S_PRES];
+    int64_t rescan_all = sc[S_RESCAN_ALL];
+    const int64_t have_deadline = sc[S_HAVE_DEADLINE];
+    const int64_t deadline = sc[S_DEADLINE];
+    int64_t ready_count = sc[S_READY_COUNT];
+    int64_t heap_size = sc[S_HEAP_SIZE];
+    int64_t fresh_count = sc[S_FRESH_COUNT];
+    int64_t rec_count = sc[S_REC_COUNT];
+
+    int64_t commit_idx[64];
+    int64_t exit_reason = EXIT_DONE_SENTINEL;
+
+    for (;;) {
+        if (!queued) { exit_reason = 0; break; }
+        if (have_deadline && last_cas >= deadline) { exit_reason = 1; break; }
+        if (do_record && rec_cap - rec_count < 2 * n_banks + 2) {
+            exit_reason = 2; break;
+        }
+
+        /* ---- eager per-bank row management ------------------------- */
+        if (rescan_all) {
+            rescan_all = 0;
+            fresh_count = 0;
+            heap_size = 0;
+            for (int64_t b = 0; b < n_banks; b++) {
+                if (bstate[b] != 1) continue;
+                int64_t row = rows[qseqs[qstart[b] + head[b]]];
+                int64_t current = open_row[b];
+                if (current == row) {
+                    bstate[b] = 2; ready_count++; hits++;
+                } else if (current < 0) {
+                    H_T(heap_size) = act_allowed[b]; H_B(heap_size) = b;
+                    H_P(heap_size) = -1; H_E(heap_size) = 1;
+                    H_R(heap_size) = row; heap_size++;
+                } else {
+                    int64_t t_pre = pre_allowed[b];
+                    if (quant) t_pre = quantize(t_pre, tck);
+                    H_T(heap_size) = t_pre + trp; H_B(heap_size) = b;
+                    H_P(heap_size) = t_pre; H_E(heap_size) = 0;
+                    H_R(heap_size) = row; heap_size++;
+                }
+            }
+        } else if (fresh_count) {
+            /* The general engine visits fresh banks in sorted order,
+             * but eval touches no shared timeline state, so per-bank
+             * outcomes are order-independent; heap extraction is by
+             * (act_ready, bank), not insertion order. */
+            for (int64_t i = 0; i < fresh_count; i++) {
+                int64_t b = fresh[i];
+                int64_t row = rows[qseqs[qstart[b] + head[b]]];
+                int64_t current = open_row[b];
+                if (current == row) {
+                    bstate[b] = 2; ready_count++; hits++;
+                } else if (current < 0) {
+                    H_T(heap_size) = act_allowed[b]; H_B(heap_size) = b;
+                    H_P(heap_size) = -1; H_E(heap_size) = 1;
+                    H_R(heap_size) = row; heap_size++;
+                } else {
+                    int64_t t_pre = pre_allowed[b];
+                    if (quant) t_pre = quantize(t_pre, tck);
+                    H_T(heap_size) = t_pre + trp; H_B(heap_size) = b;
+                    H_P(heap_size) = t_pre; H_E(heap_size) = 0;
+                    H_R(heap_size) = row; heap_size++;
+                }
+            }
+            fresh_count = 0;
+        }
+
+        /* ---- deferred-activation commits --------------------------- */
+        if (heap_size) {
+            int64_t n_commit = 0;
+            for (int64_t i = 0; i < heap_size; i++)
+                if (H_T(i) <= bus_free) commit_idx[n_commit++] = i;
+            if (!n_commit && !ready_count) {
+                /* Forced single commit: the earliest (act_ready, bank)
+                 * entry, exactly the heap's root. */
+                int64_t mi = 0;
+                for (int64_t i = 1; i < heap_size; i++)
+                    if (H_T(i) < H_T(mi) ||
+                        (H_T(i) == H_T(mi) && H_B(i) < H_B(mi))) mi = i;
+                commit_idx[n_commit++] = mi;
+            }
+            if (n_commit) {
+                /* Group commits happen in bank order (the engine sorts
+                 * its batch by bank). */
+                for (int64_t i = 1; i < n_commit; i++) {
+                    int64_t ci = commit_idx[i];
+                    int64_t j = i - 1;
+                    while (j >= 0 && H_B(commit_idx[j]) > H_B(ci)) {
+                        commit_idx[j + 1] = commit_idx[j]; j--;
+                    }
+                    commit_idx[j + 1] = ci;
+                }
+                for (int64_t i = 0; i < n_commit; i++) {
+                    int64_t ci = commit_idx[i];
+                    int64_t act_ready = H_T(ci);
+                    int64_t b = H_B(ci);
+                    int64_t t_pre = H_P(ci);
+                    int64_t is_empty = H_E(ci);
+                    int64_t row = H_R(ci);
+                    if (is_empty) {
+                        empties++;
+                    } else {
+                        misses++; pres++;
+                        if (do_record) {
+                            int64_t *r = rec + rec_count * 6;
+                            r[0] = t_pre; r[1] = REC_PRE; r[2] = b;
+                            r[3] = -1; r[4] = -1; r[5] = -1;
+                            rec_count++;
+                        }
+                    }
+                    int64_t bg = bg_of[b];
+                    int64_t t_act = act_ready;
+                    if (last_act != FAR_PAST) {
+                        int64_t spacing = (bg == last_act_bg) ? trrd_l
+                                                              : trrd_s;
+                        int64_t t = last_act + spacing;
+                        if (t > t_act) t_act = t;
+                    }
+                    {
+                        int64_t t = faw_ring[faw_idx] + tfaw;
+                        if (t > t_act) t_act = t;
+                    }
+                    if (quant) t_act = quantize(t_act, tck);
+                    faw_ring[faw_idx] = t_act;
+                    faw_idx = (faw_idx + 1) & 3;
+                    last_act = t_act;
+                    last_act_bg = bg;
+                    acts++;
+                    if (do_record) {
+                        int64_t *r = rec + rec_count * 6;
+                        r[0] = t_act; r[1] = REC_ACT; r[2] = b;
+                        r[3] = row; r[4] = -1; r[5] = -1;
+                        rec_count++;
+                    }
+                    open_row[b] = row;
+                    act_time[b] = t_act;
+                    cas_allowed[b] = t_act + trcd;
+                    pre_allowed[b] = t_act + tras;
+                    bstate[b] = 2;
+                    ready_count++;
+                }
+                /* Compact the committed entries out of the store. */
+                int64_t w = 0;
+                for (int64_t i = 0; i < heap_size; i++) {
+                    int64_t committed = 0;
+                    for (int64_t j = 0; j < n_commit; j++)
+                        if (commit_idx[j] == i) { committed = 1; break; }
+                    if (committed) continue;
+                    if (w != i) {
+                        H_T(w) = H_T(i); H_B(w) = H_B(i); H_P(w) = H_P(i);
+                        H_E(w) = H_E(i); H_R(w) = H_R(i);
+                    }
+                    w++;
+                }
+                heap_size = w;
+            }
+        }
+
+        /* ---- CAS arbitration: min-reductions over the ready heads -- */
+        int64_t bound = last_cas + tccd_s;
+        {
+            int64_t t = bus_free - latency;
+            if (t > bound) bound = t;
+        }
+        if (quant) bound = quantize(bound, tck);
+        int64_t chosen = -1;
+        int64_t t_cas = 0;
+        int64_t best_seq = FAR_FUTURE;
+        int64_t best_pb = FAR_FUTURE;
+        int64_t best_pb_seq = FAR_FUTURE;
+        int64_t best_pb_bank = -1;
+        for (int64_t b = 0; b < n_banks; b++) {
+            if (bstate[b] != 2) continue;
+            int64_t sq = qseqs[qstart[b] + head[b]];
+            int64_t pb = cas_allowed[b];
+            int64_t t = last_cas_bg[bg_of[b]] + tccd_l;
+            if (t > pb) pb = t;
+            if (pb <= bound) {
+                if (sq < best_seq) { best_seq = sq; chosen = b; }
+            } else if (pb < best_pb ||
+                       (pb == best_pb && sq < best_pb_seq)) {
+                best_pb = pb; best_pb_seq = sq; best_pb_bank = b;
+            }
+        }
+        if (chosen >= 0) {
+            t_cas = bound;
+        } else if (best_pb_bank >= 0) {
+            chosen = best_pb_bank;
+            t_cas = best_pb;
+            if (quant) t_cas = quantize(t_cas, tck);
+        } else {
+            exit_reason = 3; break;
+        }
+
+        /* ---- pop, timeline update, admission ----------------------- */
+        int64_t hidx = qstart[chosen] + head[chosen];
+        int64_t p_seq = qseqs[hidx];
+        head[chosen]++;
+        queued--;
+        if (adm[chosen] == head[chosen]) {
+            bstate[chosen] = 0; ready_count--;
+        } else if (rows[qseqs[hidx + 1]] == open_row[chosen]) {
+            hits++;
+        } else {
+            bstate[chosen] = 1; ready_count--;
+            fresh[fresh_count++] = chosen;
+        }
+        last_cas = t_cas;
+        last_cas_bg[bg_of[chosen]] = t_cas;
+        {
+            int64_t data_end = t_cas + latency + burst;
+            bus_free = data_end;
+            last_data_end = data_end;
+            int64_t t = is_read ? t_cas + trtp : data_end + twr;
+            if (t > pre_allowed[chosen]) pre_allowed[chosen] = t;
+        }
+        if (do_record) {
+            int64_t *r = rec + rec_count * 6;
+            r[0] = t_cas; r[1] = REC_CAS; r[2] = chosen;
+            r[3] = rows[p_seq]; r[4] = cols[p_seq]; r[5] = n_requests;
+            rec_count++;
+        }
+        n_requests++;
+        if (pos < nreq && queued == queue_depth - 1) {
+            int64_t b = banks[pos];
+            if (adm[b] - head[b] < per_bank_depth) {
+                if (adm[b] == head[b]) {
+                    bstate[b] = 1;
+                    fresh[fresh_count++] = b;
+                }
+                adm[b]++; pos++; queued++;
+            }
+        } else {
+            while (queued < queue_depth && pos < nreq) {
+                int64_t b = banks[pos];
+                if (adm[b] - head[b] >= per_bank_depth) break;
+                if (adm[b] == head[b]) {
+                    bstate[b] = 1;
+                    fresh[fresh_count++] = b;
+                }
+                adm[b]++; pos++; queued++;
+            }
+        }
+    }
+
+    sc[S_LAST_CAS] = last_cas;
+    sc[S_LAST_ACT] = last_act;
+    sc[S_LAST_ACT_BG] = last_act_bg;
+    sc[S_FAW_IDX] = faw_idx;
+    sc[S_BUS_FREE] = bus_free;
+    sc[S_LAST_DATA_END] = last_data_end;
+    sc[S_POS] = pos;
+    sc[S_QUEUED] = queued;
+    sc[S_N_REQUESTS] = n_requests;
+    sc[S_HITS] = hits;
+    sc[S_MISSES] = misses;
+    sc[S_EMPTIES] = empties;
+    sc[S_ACTS] = acts;
+    sc[S_PRES] = pres;
+    sc[S_RESCAN_ALL] = rescan_all;
+    sc[S_READY_COUNT] = ready_count;
+    sc[S_HEAP_SIZE] = heap_size;
+    sc[S_FRESH_COUNT] = fresh_count;
+    sc[S_REC_COUNT] = rec_count;
+    return exit_reason;
+}
+"""
+
+# `EXIT_DONE_SENTINEL` keeps the variable initialized without a magic
+# constant appearing twice; substitute it before compiling.
+SOURCE = SOURCE.replace("EXIT_DONE_SENTINEL", "0")
+
+_loaded: Optional[Tuple[Any, Any]] = None
+_load_attempted = False
+
+
+def _cache_path() -> str:
+    """Shared-object path for the current source (per-user, per-hash)."""
+    digest = hashlib.sha256(SOURCE.encode("utf-8")).hexdigest()[:20]
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    root = os.environ.get("REPRO_KERNELC_CACHE") or os.path.join(
+        tempfile.gettempdir(), f"repro-kernelc-{uid}")
+    return os.path.join(root, f"kernel-{digest}.so")
+
+
+def _compile(so_path: str) -> bool:
+    """Compile :data:`SOURCE` to ``so_path``; ``False`` on any failure."""
+    compiler = which("cc") or which("gcc")
+    if compiler is None:
+        return False
+    directory = os.path.dirname(so_path)
+    try:
+        os.makedirs(directory, exist_ok=True)
+        c_path = so_path + f".{os.getpid()}.c"
+        tmp_so = so_path + f".{os.getpid()}.tmp"
+        with open(c_path, "w", encoding="utf-8") as fh:
+            fh.write(SOURCE)
+        proc = subprocess.run(
+            [compiler, "-O2", "-shared", "-fPIC", "-o", tmp_so, c_path],
+            capture_output=True)
+        if proc.returncode != 0:
+            return False
+        os.replace(tmp_so, so_path)  # atomic vs concurrent builders
+        return True
+    except OSError:
+        return False
+    finally:
+        for leftover in (so_path + f".{os.getpid()}.c",
+                         so_path + f".{os.getpid()}.tmp"):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+
+
+def load() -> Optional[Tuple[Any, Any]]:
+    """Return ``(ffi, lib)`` for the compiled segment loop, or ``None``.
+
+    The result is cached for the process; a failed attempt is not
+    retried.  Set ``REPRO_KERNEL_NATIVE=0`` to force the pure-Python
+    kernel loop regardless of toolchain availability.
+    """
+    global _loaded, _load_attempted
+    if _load_attempted:
+        return _loaded
+    _load_attempted = True
+    if os.environ.get("REPRO_KERNEL_NATIVE", "1") == "0":
+        return None
+    try:
+        import cffi
+    except ImportError:  # pragma: no cover - cffi is in the toolchain
+        return None
+    so_path = _cache_path()
+    if not os.path.exists(so_path) and not _compile(so_path):
+        return None
+    try:
+        ffi = cffi.FFI()
+        ffi.cdef(CDEF)
+        lib = ffi.dlopen(so_path)
+    except (OSError, cffi.error.FFIError, cffi.error.CDefError):
+        return None
+    _loaded = (ffi, lib)
+    return _loaded
+
+
+def available() -> bool:
+    """Whether the compiled segment loop can be used in this process."""
+    return load() is not None

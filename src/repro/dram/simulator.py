@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.dram.controller import (
+    ENGINE_GENERAL,
     OP_READ,
     OP_WRITE,
     ControllerConfig,
@@ -69,6 +70,7 @@ def simulate_phase(
     *,
     use_arrays: Optional[bool] = None,
     chunk_size: Optional[int] = None,
+    engine: str = ENGINE_GENERAL,
 ) -> PhaseStats:
     """Simulate a single write or read phase.
 
@@ -90,10 +92,14 @@ def simulate_phase(
         chunk_size: bursts per address chunk on the array path
             (``None`` = the mapping's default, bounded memory at paper
             scale).
+        engine: scheduling-engine selection hook
+            (:data:`~repro.dram.controller.ENGINE_GENERAL` /
+            :data:`~repro.dram.controller.ENGINE_KERNEL`); both produce
+            bit-identical statistics.
     """
     return simulate_phase_result(config, mapping, op, policy,
                                  use_arrays=use_arrays,
-                                 chunk_size=chunk_size).stats
+                                 chunk_size=chunk_size, engine=engine).stats
 
 
 def simulate_phase_result(
@@ -104,6 +110,7 @@ def simulate_phase_result(
     *,
     use_arrays: Optional[bool] = None,
     chunk_size: Optional[int] = None,
+    engine: str = ENGINE_GENERAL,
 ) -> PhaseResult:
     """Like :func:`simulate_phase`, returning the full :class:`PhaseResult`.
 
@@ -112,7 +119,7 @@ def simulate_phase_result(
     (:mod:`repro.dram.trace`) — the integration tests replay one
     recorded run per Table I (config, mapping) pair.
     """
-    controller = MemoryController(config, policy)
+    controller = MemoryController(config, policy, engine=engine)
     if op not in (OP_WRITE, OP_READ):
         raise ValueError(f"op must be {OP_WRITE!r} or {OP_READ!r}, got {op!r}")
     if use_arrays is None:
@@ -138,12 +145,15 @@ def simulate_interleaver(
     *,
     use_arrays: Optional[bool] = None,
     chunk_size: Optional[int] = None,
+    engine: str = ENGINE_GENERAL,
 ) -> InterleaverSimResult:
     """Simulate both phases of one interleaver frame (Table I cell pair)."""
     write = simulate_phase(config, mapping, OP_WRITE, policy,
-                           use_arrays=use_arrays, chunk_size=chunk_size)
+                           use_arrays=use_arrays, chunk_size=chunk_size,
+                           engine=engine)
     read = simulate_phase(config, mapping, OP_READ, policy,
-                          use_arrays=use_arrays, chunk_size=chunk_size)
+                          use_arrays=use_arrays, chunk_size=chunk_size,
+                          engine=engine)
     return InterleaverSimResult(
         config_name=config.name,
         mapping_name=mapping.name,
@@ -157,6 +167,7 @@ def simulate_mixed_interleaver(
     mapping: InterleaverMapping,
     group: int = 16,
     policy: Optional[ControllerConfig] = None,
+    engine: str = ENGINE_GENERAL,
 ) -> "MixedResult":
     """Simulate the steady-state interleaved write(k+1)/read(k) operation.
 
@@ -170,4 +181,5 @@ def simulate_mixed_interleaver(
     # module at module-load time (mixed imports the mapping base).
     from repro.dram.mixed import steady_state_interleaver
 
-    return steady_state_interleaver(config, mapping, group=group, policy=policy)
+    return steady_state_interleaver(config, mapping, group=group,
+                                    policy=policy, engine=engine)

@@ -29,10 +29,45 @@ if TYPE_CHECKING:
     import numpy as np
     from numpy.typing import ArrayLike, NDArray
 
+#: Bytes one pipeline cell occupies at its widest point: the three
+#: int64 address columns (bank, row, column) the mapping stage emits
+#: per coordinate.  The coordinate stage itself is narrower (two
+#: columns), so budgeting against the address width bounds the whole
+#: pipeline.
+CELL_BYTES = 24
+
+#: Byte budget one in-flight chunk targets.  6 MiB sits on the flat
+#: part of the throughput-vs-chunk-size curve (see
+#: ``benchmarks/bench_chunk_size.py``): large enough to amortize NumPy
+#: per-chunk call overhead, small enough that paper-scale runs
+#: (12.5 M cells) stay in bounded memory and chunks stay cache-friendly.
+DEFAULT_CHUNK_BYTES = 6 << 20
+
+
+def chunk_cells(target_bytes: int = DEFAULT_CHUNK_BYTES) -> int:
+    """Cells per chunk for an in-flight byte budget.
+
+    Sizing by bytes instead of a fixed element count keeps the memory
+    footprint of the address pipeline independent of how wide its
+    columns are.
+
+    Args:
+        target_bytes: byte budget one chunk may occupy at the
+            pipeline's widest point (:data:`CELL_BYTES` per cell).
+
+    Raises:
+        ValueError: when the budget is not positive.
+    """
+    if target_bytes <= 0:
+        raise ValueError(f"target_bytes must be > 0, got {target_bytes}")
+    return max(1, target_bytes // CELL_BYTES)
+
+
 #: Default traversal chunk size (cells) for the vectorized coordinate
-#: iterators — large enough to amortize NumPy call overhead, small
-#: enough to keep paper-scale runs (12.5 M cells) in bounded memory.
-DEFAULT_COORD_CHUNK = 1 << 18
+#: iterators — the byte budget above expressed in cells (exactly
+#: ``1 << 18`` for the 6 MiB default, pinned by the chunking tests so
+#: chunk boundaries — and therefore results — never drift).
+DEFAULT_COORD_CHUNK = chunk_cells()
 
 #: One columnar coordinate chunk: equal-length ``(i, j)`` index arrays.
 CoordChunk = Tuple["NDArray[Any]", "NDArray[Any]"]

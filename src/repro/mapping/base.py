@@ -10,11 +10,15 @@ share a (bank, row, column) triple — which is property-tested in
 from __future__ import annotations
 
 import abc
-from typing import Any, Iterator, List, Tuple
+from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.dram.address import DramAddress
 from repro.dram.geometry import Geometry
-from repro.interleaver.triangular import DEFAULT_COORD_CHUNK, IndexSpace
+from repro.interleaver.triangular import (
+    DEFAULT_COORD_CHUNK,
+    IndexSpace,
+    chunk_cells,
+)
 
 #: The (bank, row, column) tuples the controller consumes.
 AddressTuple = Tuple[int, int, int]
@@ -23,10 +27,26 @@ AddressTuple = Tuple[int, int, int]
 AddressArrays = Tuple[Any, Any, Any]
 
 #: Default chunk size (bursts) of the array traversal fast paths —
-#: bounded memory even at paper scale (12.5 M cells => ~48 chunks).
-#: Shared with the index spaces' coordinate iterators so both sides of
-#: the pipeline chunk identically.
+#: the pipeline-wide byte budget of
+#: :data:`repro.interleaver.triangular.DEFAULT_CHUNK_BYTES` expressed
+#: in cells; bounded memory even at paper scale (12.5 M cells => ~48
+#: chunks).  Shared with the index spaces' coordinate iterators so both
+#: sides of the pipeline chunk identically.
 DEFAULT_CHUNK = DEFAULT_COORD_CHUNK
+
+
+def _resolve_chunk_size(chunk_size: Optional[int],
+                        chunk_bytes: Optional[int]) -> int:
+    """Bursts per chunk from an explicit count or a byte budget."""
+    if chunk_size is not None and chunk_bytes is not None:
+        raise ValueError("pass chunk_size or chunk_bytes, not both")
+    if chunk_bytes is not None:
+        return chunk_cells(chunk_bytes)
+    if chunk_size is None:
+        return DEFAULT_CHUNK
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return chunk_size
 
 
 class InterleaverMapping(abc.ABC):
@@ -106,19 +126,38 @@ class InterleaverMapping(abc.ABC):
             np.asarray(columns, dtype=np.int64),
         )
 
-    def write_addresses_array(self, chunk_size: int = DEFAULT_CHUNK) -> Iterator[AddressArrays]:
+    def write_addresses_array(self, chunk_size: Optional[int] = None, *,
+                              chunk_bytes: Optional[int] = None,
+                              ) -> Iterator[AddressArrays]:
         """Write-order addresses as columnar array chunks.
 
         Yields the exact address sequence of :meth:`write_addresses` in
         ``(bank, row, column)`` array chunks of ``<= ~chunk_size``
         bursts — the shape the controller's chunked intake consumes.
+
+        Chunk granularity is set either as an element count
+        (``chunk_size``) or adaptively as an in-flight byte budget
+        (``chunk_bytes``, converted at
+        :data:`~repro.interleaver.triangular.CELL_BYTES` per burst);
+        passing both raises :class:`ValueError`.  The default is the
+        pipeline-wide 6 MiB budget (see
+        ``benchmarks/bench_chunk_size.py`` for the flat part of the
+        size/throughput curve it sits on).  Granularity never changes
+        the address sequence, only its batching.
         """
-        for i, j in self._coord_chunks(chunk_size, write=True):
+        cells = _resolve_chunk_size(chunk_size, chunk_bytes)
+        for i, j in self._coord_chunks(cells, write=True):
             yield self.address_arrays(i, j)
 
-    def read_addresses_array(self, chunk_size: int = DEFAULT_CHUNK) -> Iterator[AddressArrays]:
-        """Read-order addresses as columnar array chunks."""
-        for i, j in self._coord_chunks(chunk_size, write=False):
+    def read_addresses_array(self, chunk_size: Optional[int] = None, *,
+                             chunk_bytes: Optional[int] = None,
+                             ) -> Iterator[AddressArrays]:
+        """Read-order addresses as columnar array chunks.
+
+        Same granularity contract as :meth:`write_addresses_array`.
+        """
+        cells = _resolve_chunk_size(chunk_size, chunk_bytes)
+        for i, j in self._coord_chunks(cells, write=False):
             yield self.address_arrays(i, j)
 
     def _coord_chunks(self, chunk_size: int,

@@ -21,16 +21,16 @@ on LPDDR4-4266).
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Iterator, Optional
 
 from repro.dram.address import DEFAULT_SCHEME, LinearDecoder
 from repro.dram.geometry import Geometry
 from repro.interleaver.triangular import IndexSpace
 from repro.mapping.base import (
-    DEFAULT_CHUNK,
     AddressArrays,
     AddressTuple,
     InterleaverMapping,
+    _resolve_chunk_size,
 )
 
 
@@ -103,20 +103,23 @@ class RowMajorMapping(InterleaverMapping):
         )
 
     def write_addresses_array(
-            self, chunk_size: int = DEFAULT_CHUNK) -> Iterator[AddressArrays]:
+            self, chunk_size: Optional[int] = None, *,
+            chunk_bytes: Optional[int] = None) -> Iterator[AddressArrays]:
         """Sequential burst indices decoded in bulk (fastest path).
 
         The write order is the linear order, so the coordinate step is
         skipped entirely: chunks of ``arange`` decode straight to
-        columnar addresses.
+        columnar addresses.  Granularity contract as in
+        :meth:`InterleaverMapping.write_addresses_array`.
         """
         import numpy as np
 
+        cells = _resolve_chunk_size(chunk_size, chunk_bytes)
         base = self.base_burst
         total = self.space.num_elements
         decode_arrays = self.decoder.decode_arrays
-        for start in range(0, total, chunk_size):
-            stop = min(start + chunk_size, total)
+        for start in range(0, total, cells):
+            stop = min(start + cells, total)
             yield decode_arrays(np.arange(base + start, base + stop, dtype=np.int64))
 
     def rows_used(self) -> int:

@@ -19,7 +19,12 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tupl
 
 from repro.channel.codeword import CodewordConfig
 from repro.channel.gilbert_elliott import GilbertElliottParams, coherence_params
-from repro.dram.controller import OP_READ, OP_WRITE, ControllerConfig
+from repro.dram.controller import (
+    ENGINE_GENERAL,
+    OP_READ,
+    OP_WRITE,
+    ControllerConfig,
+)
 from repro.dram.energy import (
     EnergyReport,
     combine_interleaver_reports,
@@ -123,6 +128,7 @@ def run_table1(
     jobs: Optional[int] = None,
     use_arrays: Optional[bool] = None,
     store: Optional["ResultStore"] = None,
+    engine: str = ENGINE_GENERAL,
 ) -> List[Table1Row]:
     """Regenerate Table I at triangle size ``n``.
 
@@ -142,12 +148,16 @@ def run_table1(
         store: optional shared result store — cells persisted by any
             prior sweep (including ``energy``) are reused, the rest
             are written back for later runs.
+        engine: scheduling-engine hook
+            (:data:`~repro.dram.controller.ENGINE_GENERAL` /
+            :data:`~repro.dram.controller.ENGINE_KERNEL`); results and
+            store keys are identical either way.
     """
     mapping_names = ("row-major", "optimized")
     ops = (OP_WRITE, OP_READ)
     tasks = [
         PhaseTask(config_name=config_name, mapping=mapping_name, op=op, n=n,
-                  policy=policy, use_arrays=use_arrays)
+                  policy=policy, use_arrays=use_arrays, engine=engine)
         for config_name in config_names
         for mapping_name in mapping_names
         for op in ops
@@ -230,6 +240,7 @@ def run_mixed_table(
     policy: Optional[ControllerConfig] = None,
     jobs: Optional[int] = None,
     store: Optional["ResultStore"] = None,
+    engine: str = ENGINE_GENERAL,
 ) -> List[MixedRow]:
     """Steady-state interleaved read/write utilization, Table I layout.
 
@@ -249,11 +260,13 @@ def run_mixed_table(
         policy: controller policy overrides applied to every cell.
         jobs: worker processes (``None``/``1`` serial, ``0`` = all cores).
         store: optional shared result store (hits skip simulation).
+        engine: scheduling-engine hook (mixed streams schedule through
+            the shared general core under either value).
     """
     mapping_names = ("row-major", "optimized")
     tasks = [
         MixedTask(config_name=config_name, mapping=mapping_name, n=n,
-                  group=group, policy=policy)
+                  group=group, policy=policy, engine=engine)
         for config_name in config_names
         for mapping_name in mapping_names
     ]
@@ -332,6 +345,7 @@ def run_energy_table(
     policy: Optional[ControllerConfig] = None,
     jobs: Optional[int] = None,
     store: Optional["ResultStore"] = None,
+    engine: str = ENGINE_GENERAL,
 ) -> List[EnergyRow]:
     """Energy per interleaver frame, both mappings x every configuration.
 
@@ -351,11 +365,13 @@ def run_energy_table(
             two *phase* records, so an ``energy`` run reuses the exact
             entries a prior ``table1`` run at the same ``n`` persisted
             (and vice versa) with zero redundant engine invocations.
+        engine: scheduling-engine hook (bit-identical results, shared
+            store keys).
     """
     mapping_names = ("row-major", "optimized")
     tasks = [
         InterleaverTask(config_name=config_name, mapping=mapping_name, n=n,
-                        policy=policy)
+                        policy=policy, engine=engine)
         for config_name in config_names
         for mapping_name in mapping_names
     ]
@@ -696,6 +712,7 @@ def sweep_ablation(
     variants: Optional[Sequence[str]] = None,
     policy: Optional[ControllerConfig] = None,
     jobs: Optional[int] = None,
+    engine: str = ENGINE_GENERAL,
 ) -> List[AblationPoint]:
     """Quantify each optimization's contribution (paper Sec. II).
 
@@ -710,6 +727,7 @@ def sweep_ablation(
             effects the ablation measures — pass an explicit
             ``ControllerConfig()`` to get them anyway).
         jobs: worker processes (``None``/``1`` serial, ``0`` = all cores).
+        engine: scheduling-engine hook (bit-identical results).
     """
     if policy is None:
         policy = ABLATION_POLICY
@@ -719,7 +737,8 @@ def sweep_ablation(
     if unknown:
         raise KeyError(f"unknown ablation variants {unknown}; known: {sorted(known)}")
     tasks = [
-        PhaseTask(config_name=config_name, mapping=variant, op=op, n=n, policy=policy)
+        PhaseTask(config_name=config_name, mapping=variant, op=op, n=n,
+                  policy=policy, engine=engine)
         for config_name in config_names
         for variant in variant_names
         for op in (OP_WRITE, OP_READ)

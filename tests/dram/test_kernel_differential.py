@@ -1,0 +1,220 @@
+"""Differential battery: batch-advance kernel vs the general engine.
+
+The event-wheel kernel (:mod:`repro.dram.kernel`) must be bit-identical
+to the general :class:`~repro.dram.engine.SchedulingEngine` — same
+:class:`~repro.dram.stats.PhaseStats`, same ``command_counts``, same
+:class:`~repro.dram.stats.EnergyTally`, same recorded command list —
+on every Table I (configuration, mapping) pair, in both phases, through
+both backends (compiled segment loop and pure-Python fallback), and its
+schedules must independently satisfy the JEDEC replay checker
+(:mod:`repro.dram.trace`) for homogeneous and mixed traffic.
+"""
+
+import pytest
+
+from repro.dram import _kernelc
+from repro.dram.controller import (
+    ENGINE_GENERAL,
+    ENGINE_KERNEL,
+    OP_READ,
+    OP_WRITE,
+    ControllerConfig,
+    MemoryController,
+)
+from repro.dram.engine import SchedulingEngine, as_workload
+from repro.dram.kernel import KernelEngine
+from repro.dram.mixed import run_mixed_phase, steady_state_interleaver
+from repro.dram.presets import TABLE1_CONFIG_NAMES, get_config
+from repro.dram.simulator import simulate_phase_result
+from repro.dram.trace import check_phase_commands
+from repro.interleaver.triangular import TriangularIndexSpace
+from repro.mapping.optimized import OptimizedMapping
+from repro.mapping.row_major import RowMajorMapping
+
+N = 48
+
+RECORDING_POLICY = ControllerConfig(record_commands=True)
+
+MAPPING_FACTORIES = {
+    "row-major": lambda space, geometry: RowMajorMapping(space, geometry),
+    "optimized": lambda space, geometry: OptimizedMapping(
+        space, geometry, prefer_tall=False),
+}
+
+TABLE1_PAIRS = [
+    (config_name, mapping_name)
+    for config_name in TABLE1_CONFIG_NAMES
+    for mapping_name in MAPPING_FACTORIES
+]
+
+PAIR_IDS = [f"{c}-{m}" for c, m in TABLE1_PAIRS]
+
+#: Backends under test: the compiled segment loop only where a C
+#: toolchain produced one; the pure-Python port always.
+BACKENDS = [False] + ([True] if _kernelc.available() else [])
+
+
+def _mapping(config, mapping_name, n=N):
+    space = TriangularIndexSpace(n)
+    return MAPPING_FACTORIES[mapping_name](space, config.geometry)
+
+
+def _run_engines(config, mapping, op, native, policy=None):
+    """One phase through general engine and kernel; returns both results."""
+    policy = policy or ControllerConfig()
+    chunks = (mapping.write_addresses_array() if op == OP_WRITE
+              else mapping.read_addresses_array())
+    general = SchedulingEngine(config, policy).run(as_workload(chunks), op=op)
+    chunks = (mapping.write_addresses_array() if op == OP_WRITE
+              else mapping.read_addresses_array())
+    kernel = KernelEngine(config, policy, native=native).run(
+        as_workload(chunks), op=op)
+    return general, kernel
+
+
+def _assert_identical(general, kernel):
+    """Full bit-identity, including the compare=False energy tally."""
+    assert kernel.stats == general.stats
+    assert kernel.stats.command_counts == general.stats.command_counts
+    assert kernel.stats.energy_tally == general.stats.energy_tally
+    assert kernel.commands == general.commands
+
+
+class TestTable1Grid:
+    """Kernel == engine on the full production grid, both backends."""
+
+    @pytest.mark.parametrize("native", BACKENDS,
+                             ids=lambda native: "native" if native else "python")
+    @pytest.mark.parametrize("op", (OP_WRITE, OP_READ))
+    @pytest.mark.parametrize("config_name,mapping_name", TABLE1_PAIRS,
+                             ids=PAIR_IDS)
+    def test_phase_bit_identical(self, config_name, mapping_name, op, native):
+        config = get_config(config_name)
+        mapping = _mapping(config, mapping_name)
+        general, kernel = _run_engines(config, mapping, op, native,
+                                       RECORDING_POLICY)
+        _assert_identical(general, kernel)
+
+
+class TestControllerHook:
+    """The ``engine=`` selection hook routes through the kernel."""
+
+    def test_run_phase_engine_keyword(self, ddr4):
+        mapping = _mapping(ddr4, "optimized")
+        stats = {}
+        for engine in (ENGINE_GENERAL, ENGINE_KERNEL):
+            controller = MemoryController(ddr4, ControllerConfig(),
+                                          engine=engine)
+            stats[engine] = controller.run_phase(
+                mapping.read_addresses_array(), OP_READ).stats
+        assert stats[ENGINE_KERNEL] == stats[ENGINE_GENERAL]
+
+    def test_rejects_unknown_engine(self, ddr4):
+        with pytest.raises(ValueError, match="engine must be one of"):
+            MemoryController(ddr4, engine="warp-drive")
+
+    def test_per_call_override(self, ddr4):
+        """A general controller can route a single phase to the kernel."""
+        mapping = _mapping(ddr4, "row-major")
+        controller = MemoryController(ddr4, ControllerConfig())
+        kernel_stats = controller.run_phase(mapping.write_addresses_array(),
+                                            OP_WRITE,
+                                            engine=ENGINE_KERNEL).stats
+        baseline = MemoryController(ddr4, ControllerConfig()).run_phase(
+            mapping.write_addresses_array(), OP_WRITE).stats
+        assert kernel_stats == baseline
+
+    def test_warm_state_alternation(self, ddr4):
+        """Kernel write then general read == all-general two-phase run.
+
+        The kernel shares the per-bank timestamp table with its general
+        engine by reference, so rows left open by one arbiter must be
+        visible — and identically charged — by the other.
+        """
+        mapping = _mapping(ddr4, "optimized")
+        mixed_controller = MemoryController(ddr4, ControllerConfig())
+        write_k = mixed_controller.run_phase(mapping.write_addresses_array(),
+                                             OP_WRITE,
+                                             engine=ENGINE_KERNEL).stats
+        read_g = mixed_controller.run_phase(mapping.read_addresses_array(),
+                                            OP_READ).stats
+
+        plain = MemoryController(ddr4, ControllerConfig())
+        write_ref = plain.run_phase(mapping.write_addresses_array(),
+                                    OP_WRITE).stats
+        read_ref = plain.run_phase(mapping.read_addresses_array(),
+                                   OP_READ).stats
+        assert (write_k, read_g) == (write_ref, read_ref)
+
+
+class TestMixedTraffic:
+    """Mixed streams through the kernel flag delegate bit-identically."""
+
+    def test_mixed_phase_bit_identical(self, ddr4):
+        mapping = _mapping(ddr4, "optimized", n=24)
+        results = {
+            engine: steady_state_interleaver(ddr4, mapping, group=4,
+                                             policy=RECORDING_POLICY,
+                                             engine=engine)
+            for engine in (ENGINE_GENERAL, ENGINE_KERNEL)
+        }
+        general, kernel = results[ENGINE_GENERAL], results[ENGINE_KERNEL]
+        assert kernel.stats == general.stats
+        assert kernel.stats.energy_tally == general.stats.energy_tally
+        assert (kernel.reads, kernel.writes, kernel.turnarounds) == (
+            general.reads, general.writes, general.turnarounds)
+        assert kernel.commands == general.commands
+
+    def test_mixed_requests_engine_keyword(self, tiny_config):
+        requests = [(False, 0, 0, 0), (False, 1, 0, 0),
+                    (True, 0, 0, 0), (True, 2, 1, 3)]
+        general = run_mixed_phase(tiny_config, requests)
+        kernel = run_mixed_phase(tiny_config, requests, engine=ENGINE_KERNEL)
+        assert kernel.stats == general.stats
+
+
+class TestTraceReplay:
+    """Kernel-produced schedules satisfy the independent JEDEC oracle."""
+
+    @pytest.mark.parametrize("config_name,mapping_name", TABLE1_PAIRS,
+                             ids=PAIR_IDS)
+    def test_read_phase_replay_is_clean(self, config_name, mapping_name):
+        config = get_config(config_name)
+        mapping = _mapping(config, mapping_name)
+        result = simulate_phase_result(config, mapping, OP_READ,
+                                       RECORDING_POLICY,
+                                       engine=ENGINE_KERNEL)
+        assert result.commands, "recording policy produced no commands"
+        violations = check_phase_commands(config, result.commands)
+        assert violations == [], violations[:5]
+
+    def test_write_phase_replay_is_clean(self, ddr4):
+        mapping = _mapping(ddr4, "row-major")
+        result = simulate_phase_result(ddr4, mapping, OP_WRITE,
+                                       RECORDING_POLICY,
+                                       engine=ENGINE_KERNEL)
+        violations = check_phase_commands(ddr4, result.commands)
+        assert violations == [], violations[:5]
+
+    def test_mixed_replay_is_clean(self, ddr4):
+        mapping = _mapping(ddr4, "optimized", n=24)
+        result = steady_state_interleaver(ddr4, mapping, group=4,
+                                          policy=RECORDING_POLICY,
+                                          engine=ENGINE_KERNEL)
+        assert result.commands, "recording policy produced no commands"
+        violations = check_phase_commands(ddr4, result.commands)
+        assert violations == [], violations[:5]
+
+
+class TestBackendSelection:
+    def test_explicit_native_requires_toolchain(self, ddr4, monkeypatch):
+        monkeypatch.setattr(_kernelc, "available", lambda: False)
+        with pytest.raises(RuntimeError, match="unavailable"):
+            KernelEngine(ddr4, ControllerConfig(), native=True)
+
+    def test_python_fallback_always_constructs(self, ddr4):
+        engine = KernelEngine(ddr4, ControllerConfig(), native=False)
+        mapping = _mapping(ddr4, "row-major", n=16)
+        result = engine.run(as_workload(mapping.write_addresses_array()),
+                            op=OP_WRITE)
+        assert result.stats.requests == mapping.space.num_elements

@@ -1,0 +1,104 @@
+"""The scheduling-engine knob never enters the store key space.
+
+A ``--kernel`` run and a general-engine run of the same cell are
+bit-identical by the kernel's equivalence contract, so they must share
+one cache entry: same :func:`~repro.store.records.derive_key`, and —
+end to end — a store warmed by one engine serves the other with zero
+engine invocations (the crash-consistency property: a sweep interrupted
+under one engine resumes under the other without recomputing).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.dram.controller import ENGINE_GENERAL, ENGINE_KERNEL, OP_READ, OP_WRITE
+from repro.store.records import (
+    KIND_MIXED,
+    KIND_PHASE,
+    derive_key,
+    mixed_task_config,
+    phase_task_config,
+)
+from repro.store.store import ResultStore
+from repro.system import parallel as parallel_module
+from repro.system.parallel import MixedTask, PhaseTask, share_phase_chunks
+from repro.system.sweep import run_table1
+
+N = 16
+
+
+def _phase_task(engine):
+    return PhaseTask(config_name="DDR4-3200", mapping="optimized",
+                     op=OP_READ, n=N, engine=engine)
+
+
+class TestKeyDerivation:
+    def test_phase_config_excludes_engine(self):
+        general, kernel = (_phase_task(e)
+                           for e in (ENGINE_GENERAL, ENGINE_KERNEL))
+        assert phase_task_config(general) == phase_task_config(kernel)
+        assert (derive_key(KIND_PHASE, phase_task_config(general))
+                == derive_key(KIND_PHASE, phase_task_config(kernel)))
+
+    def test_phase_config_excludes_chunk_payload(self):
+        task = _phase_task(ENGINE_KERNEL)
+        shared = share_phase_chunks(task)
+        try:
+            assert phase_task_config(shared) == phase_task_config(task)
+        finally:
+            assert shared.chunks is not None
+            shared.chunks.unlink()
+
+    def test_mixed_config_excludes_engine(self):
+        tasks = [MixedTask(config_name="DDR4-3200", mapping="optimized",
+                           n=N, group=4, engine=engine)
+                 for engine in (ENGINE_GENERAL, ENGINE_KERNEL)]
+        assert mixed_task_config(tasks[0]) == mixed_task_config(tasks[1])
+        assert (derive_key(KIND_MIXED, mixed_task_config(tasks[0]))
+                == derive_key(KIND_MIXED, mixed_task_config(tasks[1])))
+
+    def test_distinct_cells_still_distinct(self):
+        task = _phase_task(ENGINE_KERNEL)
+        other = replace(task, op=OP_WRITE)
+        assert (derive_key(KIND_PHASE, phase_task_config(task))
+                != derive_key(KIND_PHASE, phase_task_config(other)))
+
+
+class TestCrossEngineCacheHits:
+    @pytest.fixture
+    def phase_counter(self, monkeypatch):
+        """Count entries into the phase worker."""
+        counts = {"phase": 0}
+        inner = parallel_module.execute_phase_task
+
+        def counting(task):
+            counts["phase"] += 1
+            return inner(task)
+
+        monkeypatch.setattr(parallel_module, "execute_phase_task", counting)
+        return counts
+
+    def test_kernel_sweep_hits_general_warmed_store(self, tmp_path,
+                                                    phase_counter):
+        store = ResultStore(str(tmp_path))
+        cold = run_table1(n=N, config_names=("DDR4-3200",), jobs=1,
+                          store=store, engine=ENGINE_GENERAL)
+        cold_entries = phase_counter["phase"]
+        assert cold_entries > 0
+        warm = run_table1(n=N, config_names=("DDR4-3200",), jobs=1,
+                          store=store, engine=ENGINE_KERNEL)
+        # zero engine invocations: every kernel cell is a cache hit
+        assert phase_counter["phase"] == cold_entries
+        assert warm == cold
+
+    def test_general_sweep_hits_kernel_warmed_store(self, tmp_path,
+                                                    phase_counter):
+        store = ResultStore(str(tmp_path))
+        cold = run_table1(n=N, config_names=("DDR4-3200",), jobs=1,
+                          store=store, engine=ENGINE_KERNEL)
+        cold_entries = phase_counter["phase"]
+        warm = run_table1(n=N, config_names=("DDR4-3200",), jobs=1,
+                          store=store, engine=ENGINE_GENERAL)
+        assert phase_counter["phase"] == cold_entries
+        assert warm == cold
