@@ -1,0 +1,61 @@
+"""Adaptive stopping: frame savings at equal confidence-interval width.
+
+The acceptance bar for the adaptive-precision campaign engine: on an
+easy cell of the default grid (deep triangle-48 interleaver, the
+default fade statistics) the adaptive run must reach the CI-width
+target in at most one fifth of the fixed frame budget — a >= 5x frame
+saving at *equal* confidence width, because the stopped run is
+bit-identical to a fixed-frame run of the frames it spent (asserted
+here on the full :class:`~repro.system.campaign.CellResult`, and at
+odd batch boundaries in ``tests/system/test_adaptive.py``).
+
+The saving is largest on easy cells, where the naive budget is sized
+for the hardest cell of the grid and the Wilson half-width collapses
+after a few batches; ``extra_info`` reports the frames spent, the
+achieved half-width and the savings ratio.
+"""
+
+import pytest
+
+from repro.channel.codeword import CodewordConfig
+from repro.channel.gilbert_elliott import GilbertElliottParams
+from repro.interleaver.two_stage import TwoStageConfig
+from repro.system.adaptive import AdaptiveCell, evaluate_adaptive
+from repro.system.campaign import evaluate_cell
+
+#: The naive fixed budget a hard deep-fade cell of the grid needs.
+MAX_FRAMES = 2000
+#: Absolute Wilson half-width target of the adaptive run.
+CI_WIDTH = 1e-3
+CHANNEL = GilbertElliottParams(p_g2b=0.004 / 0.996 / 60.0, p_b2g=1 / 60.0,
+                               p_bad=0.7)
+INTERLEAVER = TwoStageConfig(triangle_n=48, symbols_per_element=4,
+                             codeword_symbols=24)
+CODE = CodewordConfig(n_symbols=24, t_correctable=2)
+
+
+@pytest.mark.paper_artifact("adaptive stopping frame savings")
+def test_adaptive_frame_savings(benchmark):
+    cell = AdaptiveCell(channel=CHANNEL, interleaver=INTERLEAVER, code=CODE,
+                        seed=3, max_frames=MAX_FRAMES, ci_width=CI_WIDTH)
+    outcome = benchmark.pedantic(evaluate_adaptive, args=(cell,),
+                                 rounds=1, iterations=1)
+    assert outcome.converged, "easy cell must reach the CI target"
+    # Equal confidence width by construction; equal counts by identity.
+    assert outcome.achieved_half_width <= CI_WIDTH
+    assert outcome.result == evaluate_cell(
+        cell.fixed_cell(outcome.frames_used)), \
+        "stopped run must be bit-identical to the fixed-frame run"
+    benchmark.extra_info["frames_used"] = outcome.frames_used
+    benchmark.extra_info["frame_budget"] = MAX_FRAMES
+    benchmark.extra_info["frames_saved_ratio"] = round(
+        outcome.frames_saved_ratio, 1)
+    benchmark.extra_info["achieved_half_width"] = float(
+        f"{outcome.achieved_half_width:.3g}")
+    benchmark.extra_info["ci_width_target"] = CI_WIDTH
+    if not benchmark.disabled:  # smoke runs only check for rot, not timing
+        assert outcome.frames_used * 5 <= MAX_FRAMES, (
+            f"adaptive stopping spent {outcome.frames_used} of {MAX_FRAMES} "
+            f"frames — only {outcome.frames_saved_ratio:.1f}x saved, "
+            f"needed >= 5x at half-width {CI_WIDTH:g}"
+        )

@@ -59,6 +59,7 @@ PAGES = (
     ("architecture", "Architecture"),
     ("kernel", "Scheduling kernel"),
     ("reproduction", "Reproduction guide"),
+    ("campaign", "Campaign estimators"),
     ("analysis", "Static analysis"),
     ("store", "Result store & serving"),
 )

@@ -47,6 +47,12 @@ HOT_PATHS: Dict[str, str] = {
         "the scalar recount benchmark baseline",
     "repro.system.e2e._frame_latencies":
         "the per-frame latency scan (every co-simulated phase)",
+    "repro.system.adaptive.evaluate_adaptive":
+        "the adaptive-stopping batch loop (every adaptive cell)",
+    "repro.system.adaptive.evaluate_rare_event":
+        "the importance-sampling frame loop (every rare-event cell)",
+    "repro.system.adaptive._sample_frame_states":
+        "the proposal-chain dwell sampler (every importance-sampled frame)",
 }
 
 #: Float-literal values exempt from R004 (exact-representable

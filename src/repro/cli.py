@@ -8,7 +8,10 @@ Commands:
 * ``energy``    — per-frame energy table and the provisioning Pareto chart
 * ``fig1``      — render the Fig. 1 mapping panels as text
 * ``downlink``  — run the optical-downlink reliability comparison
-* ``campaign``  — Monte Carlo downlink campaign over a fade/geometry grid
+* ``campaign``  — Monte Carlo downlink campaign over a fade/geometry
+  grid; ``--ci-width``/``--ci-rel`` switch to adaptive stopping,
+  ``--rare-event`` to importance sampling, ``--scenario`` to
+  time-varying channel trajectories
 * ``e2e``       — joint downlink -> DRAM co-simulation table (FER +
   utilization + per-frame latency percentiles + energy per cell)
 * ``provision`` — size a DRAM system for a target line rate
@@ -59,6 +62,16 @@ from repro.mapping.row_major import RowMajorMapping
 from repro.store.export import open_export, write_csv_rows
 from repro.store.jobs import grid_from_spec
 from repro.store.store import ResultStore
+from repro.system.adaptive import (
+    AdaptiveCell,
+    RareEventCell,
+    ScenarioCell,
+    contact_pass_segments,
+    default_proposal,
+    format_adaptive,
+    format_rare_event,
+    format_scenario,
+)
 from repro.system.campaign import (
     campaign_report,
     export_csv,
@@ -67,6 +80,14 @@ from repro.system.campaign import (
     summarize_campaign,
 )
 from repro.system.downlink import OpticalDownlink
+from repro.system.parallel import (
+    AdaptiveTask,
+    RareEventTask,
+    ScenarioTask,
+    run_adaptive_tasks,
+    run_rare_event_tasks,
+    run_scenario_tasks,
+)
 from repro.system.sweep import (
     ablation_factories,
     format_e2e_table,
@@ -90,6 +111,7 @@ from repro.system.throughput import (
 )
 from repro.units import gbit_per_s
 from repro.viz import (
+    render_adaptive_savings,
     render_campaign_gains,
     render_e2e_latency,
     render_energy_pareto,
@@ -379,7 +401,32 @@ def _add_campaign(subparsers: Any) -> None:
     parser.add_argument("--seed-base", type=int, default=2024,
                         help="first seed of each configuration (default 2024)")
     parser.add_argument("--frames", type=int, default=400,
-                        help="frames per cell (default 400)")
+                        help="frames per cell (default 400); in adaptive "
+                             "mode the per-cell frame *budget*, in scenario "
+                             "mode the frames per trajectory segment")
+    parser.add_argument("--ci-width", type=float, metavar="W",
+                        help="adaptive stopping: run each cell until the "
+                             "interleaved arm's 95%% Wilson half-width is "
+                             "<= W (or the --frames budget is spent)")
+    parser.add_argument("--ci-rel", type=float, metavar="R",
+                        help="adaptive stopping, relative target: stop once "
+                             "the half-width is <= R x the observed failure "
+                             "rate (combinable with --ci-width)")
+    parser.add_argument("--batch-frames", type=int, default=128, metavar="B",
+                        help="adaptive mode: frames between half-width "
+                             "checks (default 128; any value is "
+                             "bit-identical, only the stop point moves)")
+    parser.add_argument("--rare-event", action="store_true",
+                        help="estimate CWER by importance sampling on a "
+                             "fade-boosted proposal chain (deep-fade cells)")
+    parser.add_argument("--boost", type=float, default=8.0,
+                        help="rare-event mode: fade tilt factor of the "
+                             "proposal chain (default 8)")
+    parser.add_argument("--scenario", choices=("contact-pass",),
+                        help="run a time-varying channel scenario instead "
+                             "of the static grid (fade statistics follow "
+                             "the elevation profile; --fade-symbols/"
+                             "--fade-fraction set the zenith anchor)")
     parser.add_argument("--json", metavar="PATH",
                         help="write cells + summaries as JSON")
     parser.add_argument("--csv", metavar="PATH",
@@ -414,21 +461,148 @@ def _campaign_spec(args: argparse.Namespace) -> Dict[str, Any]:
     }
 
 
+def _campaign_mode_error(args: argparse.Namespace) -> Optional[str]:
+    """Validate the estimator-mode flag combination; message on error."""
+    adaptive = args.ci_width is not None or args.ci_rel is not None
+    modes = sum((adaptive, bool(args.rare_event), bool(args.scenario)))
+    if modes > 1:
+        return ("--ci-width/--ci-rel, --rare-event and --scenario select "
+                "mutually exclusive estimators")
+    if args.ci_width is not None and args.ci_width <= 0:
+        return f"--ci-width must be positive, got {args.ci_width}"
+    if args.ci_rel is not None and args.ci_rel <= 0:
+        return f"--ci-rel must be positive, got {args.ci_rel}"
+    if args.batch_frames < 1:
+        return f"--batch-frames must be >= 1, got {args.batch_frames}"
+    if args.boost < 1.0:
+        return f"--boost must be >= 1, got {args.boost}"
+    if (args.rare_event or args.scenario) and (args.json or args.csv):
+        return ("--json/--csv exports cover the naive and adaptive "
+                "estimators only")
+    return None
+
+
+def _cmd_campaign_adaptive(args: argparse.Namespace,
+                           store: Optional[ResultStore]) -> int:
+    try:
+        grid = grid_from_spec(_campaign_spec(args))
+        cells = [
+            AdaptiveCell(channel=cell.channel, interleaver=cell.interleaver,
+                         code=cell.code, seed=cell.seed,
+                         max_frames=cell.frames, ci_width=args.ci_width,
+                         ci_rel=args.ci_rel, batch_frames=args.batch_frames)
+            for cell in grid
+        ]
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    results = run_adaptive_tasks([AdaptiveTask(cell) for cell in cells],
+                                 jobs=args.jobs, store=store)
+    print(format_adaptive(results))
+    if not args.no_chart:
+        print()
+        print(render_adaptive_savings(results))
+    cell_results = [outcome.result for outcome in results]
+    if args.json:
+        with open_export(args.json) as stream:
+            export_json(cell_results, summarize_campaign(cell_results),
+                        stream)
+    if args.csv:
+        with open_export(args.csv) as stream:
+            export_csv(cell_results, stream)
+    return 0
+
+
+def _cmd_campaign_rare_event(args: argparse.Namespace,
+                             store: Optional[ResultStore]) -> int:
+    try:
+        grid = grid_from_spec(_campaign_spec(args))
+        cells = [
+            RareEventCell(channel=cell.channel,
+                          proposal=default_proposal(cell.channel, args.boost),
+                          interleaver=cell.interleaver, code=cell.code,
+                          seed=cell.seed, frames=cell.frames)
+            for cell in grid
+        ]
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    results = run_rare_event_tasks([RareEventTask(cell) for cell in cells],
+                                   jobs=args.jobs, store=store)
+    print(format_rare_event(results))
+    return 0
+
+
+def _cmd_campaign_scenario(args: argparse.Namespace,
+                           store: Optional[ResultStore]) -> int:
+    try:
+        segments = contact_pass_segments(
+            frames_per_segment=args.frames,
+            zenith_fade_symbols=args.fade_symbols[0],
+            zenith_fade_fraction=args.fade_fraction[0],
+            p_bad=args.p_bad,
+            p_good=args.p_good,
+        )
+        cells = [
+            ScenarioCell(
+                segments=segments,
+                interleaver=TwoStageConfig(
+                    triangle_n=triangle_n,
+                    symbols_per_element=args.symbols_per_element,
+                    codeword_symbols=args.codeword_symbols,
+                ),
+                code=CodewordConfig(n_symbols=args.codeword_symbols,
+                                    t_correctable=args.t_correctable),
+                seed=args.seed_base + offset,
+            )
+            for triangle_n in args.triangle_n
+            for offset in range(args.seeds)
+        ]
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    results = run_scenario_tasks([ScenarioTask(cell) for cell in cells],
+                                 jobs=args.jobs, store=store)
+    blocks = []
+    for triangle_n in args.triangle_n:
+        group = [result for result in results
+                 if result.cell.interleaver.triangle_n == triangle_n]
+        blocks.append(f"triangle_n={triangle_n} "
+                      f"({args.scenario}, {args.seeds} seed(s))\n"
+                      + format_scenario(group))
+    print("\n\n".join(blocks))
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.seeds < 1 or args.frames < 1:
         print("error: --seeds and --frames must be >= 1", file=sys.stderr)
+        return 2
+    mode_error = _campaign_mode_error(args)
+    if mode_error:
+        print(f"error: {mode_error}", file=sys.stderr)
         return 2
     store_root = args.store or args.cache_dir
     if args.resume and not store_root:
         print("error: --resume requires --cache-dir or --store",
               file=sys.stderr)
         return 2
+    store = ResultStore(store_root) if store_root else None
+    # The non-naive estimators follow the store-native contract (hits
+    # always reused when a store is given), like every other task grid;
+    # --resume is the naive path's original opt-in kept for
+    # compatibility.
+    if args.ci_width is not None or args.ci_rel is not None:
+        return _cmd_campaign_adaptive(args, store)
+    if args.rare_event:
+        return _cmd_campaign_rare_event(args, store)
+    if args.scenario:
+        return _cmd_campaign_scenario(args, store)
     try:
         cells = grid_from_spec(_campaign_spec(args))
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    store = ResultStore(store_root) if store_root else None
     results = run_campaign(cells, jobs=args.jobs, store=store,
                            resume=args.resume)
     summaries = summarize_campaign(results)

@@ -44,6 +44,14 @@ from repro.dram.energy import EnergyReport
 from repro.dram.simulator import InterleaverSimResult
 from repro.dram.stats import EnergyTally, PhaseStats
 from repro.interleaver.two_stage import TwoStageConfig
+from repro.system.adaptive import (
+    AdaptiveCell,
+    AdaptiveResult,
+    RareEventCell,
+    RareEventResult,
+    ScenarioCell,
+    ScenarioResult,
+)
 from repro.system.campaign import CACHE_VERSION, CampaignCell, CellResult
 from repro.system.downlink import DownlinkResult
 from repro.system.e2e import E2ECell, E2EResult
@@ -58,7 +66,7 @@ JSONDict = Dict[str, Any]
 #: Bump when any record layout or config-dict field changes: the
 #: version participates in every content address, so entries written by
 #: older code miss instead of being misread.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Mapping registry keys whose mapping display name equals the key —
 #: the precondition for reassembling an
@@ -75,6 +83,9 @@ KIND_PHASE = "phase"
 KIND_MIXED = "mixed"
 KIND_E2E = "e2e"
 KIND_CAMPAIGN = "campaign"
+KIND_ADAPTIVE = "adaptive"
+KIND_RARE_EVENT = "rare-event"
+KIND_SCENARIO = "scenario"
 KIND_JOB = "job"
 
 
@@ -245,6 +256,48 @@ def campaign_cell_config(cell: CampaignCell) -> JSONDict:
 def campaign_cell_from_config(data: JSONDict) -> CampaignCell:
     """Inverse of :func:`campaign_cell_config`."""
     return CampaignCell.from_dict(data)
+
+
+def adaptive_cell_config(cell: AdaptiveCell) -> JSONDict:
+    """Canonical description of one adaptive-stopping cell.
+
+    Folds in :data:`repro.system.campaign.CACHE_VERSION` like the
+    naive campaign kind — adaptive results embed a
+    :class:`~repro.system.campaign.CellResult`, so a campaign
+    evaluation-semantics bump must retire these entries too.
+    """
+    config = dict(cell.to_dict())
+    config["cache_version"] = CACHE_VERSION
+    return config
+
+
+def adaptive_cell_from_config(data: JSONDict) -> AdaptiveCell:
+    """Inverse of :func:`adaptive_cell_config`."""
+    return AdaptiveCell.from_dict(data)
+
+
+def rare_event_cell_config(cell: RareEventCell) -> JSONDict:
+    """Canonical description of one importance-sampled cell."""
+    config = dict(cell.to_dict())
+    config["cache_version"] = CACHE_VERSION
+    return config
+
+
+def rare_event_cell_from_config(data: JSONDict) -> RareEventCell:
+    """Inverse of :func:`rare_event_cell_config`."""
+    return RareEventCell.from_dict(data)
+
+
+def scenario_cell_config(cell: ScenarioCell) -> JSONDict:
+    """Canonical description of one time-varying channel scenario cell."""
+    config = dict(cell.to_dict())
+    config["cache_version"] = CACHE_VERSION
+    return config
+
+
+def scenario_cell_from_config(data: JSONDict) -> ScenarioCell:
+    """Inverse of :func:`scenario_cell_config`."""
+    return ScenarioCell.from_dict(data)
 
 
 # ---------------------------------------------------------------------------
@@ -460,6 +513,41 @@ def campaign_result_to_payload(result: CellResult) -> JSONDict:
 def campaign_result_from_payload(data: JSONDict) -> CellResult:
     """Inverse of :func:`campaign_result_to_payload`."""
     return CellResult.from_dict(data)
+
+
+def adaptive_result_to_payload(result: AdaptiveResult) -> JSONDict:
+    """JSON form of an :class:`~repro.system.adaptive.AdaptiveResult`."""
+    return result.to_dict()
+
+
+def adaptive_result_from_payload(data: JSONDict) -> AdaptiveResult:
+    """Inverse of :func:`adaptive_result_to_payload`."""
+    return AdaptiveResult.from_dict(data)
+
+
+def rare_event_result_to_payload(result: RareEventResult) -> JSONDict:
+    """JSON form of a :class:`~repro.system.adaptive.RareEventResult`.
+
+    The payload stores the exact accumulator moments (floats serialize
+    through ``repr`` and round-trip exactly), so a loaded record
+    compares ``==`` to the freshly computed one.
+    """
+    return result.to_dict()
+
+
+def rare_event_result_from_payload(data: JSONDict) -> RareEventResult:
+    """Inverse of :func:`rare_event_result_to_payload`."""
+    return RareEventResult.from_dict(data)
+
+
+def scenario_result_to_payload(result: ScenarioResult) -> JSONDict:
+    """JSON form of a :class:`~repro.system.adaptive.ScenarioResult`."""
+    return result.to_dict()
+
+
+def scenario_result_from_payload(data: JSONDict) -> ScenarioResult:
+    """Inverse of :func:`scenario_result_to_payload`."""
+    return ScenarioResult.from_dict(data)
 
 
 def e2e_result_to_payload(result: E2EResult) -> JSONDict:

@@ -40,12 +40,18 @@ from repro.dram.simulator import InterleaverSimResult
 from repro.dram.stats import PhaseStats
 from repro.store.records import (
     FRAME_MAPPINGS,
+    KIND_ADAPTIVE,
     KIND_CAMPAIGN,
     KIND_E2E,
     KIND_MIXED,
     KIND_PHASE,
+    KIND_RARE_EVENT,
+    KIND_SCENARIO,
     JSONDict,
     SCHEMA_VERSION,
+    adaptive_cell_config,
+    adaptive_result_from_payload,
+    adaptive_result_to_payload,
     campaign_cell_config,
     campaign_result_from_payload,
     campaign_result_to_payload,
@@ -61,6 +67,20 @@ from repro.store.records import (
     phase_stats_from_payload,
     phase_stats_to_payload,
     phase_task_config,
+    rare_event_cell_config,
+    rare_event_result_from_payload,
+    rare_event_result_to_payload,
+    scenario_cell_config,
+    scenario_result_from_payload,
+    scenario_result_to_payload,
+)
+from repro.system.adaptive import (
+    AdaptiveCell,
+    AdaptiveResult,
+    RareEventCell,
+    RareEventResult,
+    ScenarioCell,
+    ScenarioResult,
 )
 from repro.system.campaign import CampaignCell, CellResult
 from repro.system.e2e import E2ECell, E2EResult
@@ -302,6 +322,61 @@ class ResultStore:
             return None
         if result.cell != cell:
             return None  # embedded cell drifted from the config: recompute
+        return result
+
+    def store_adaptive(self, result: AdaptiveResult) -> None:
+        """Persist one adaptive-stopping cell result."""
+        self.write(KIND_ADAPTIVE, adaptive_cell_config(result.cell),
+                   adaptive_result_to_payload(result))
+
+    def load_adaptive(self, cell: AdaptiveCell) -> Optional[AdaptiveResult]:
+        """Load an adaptive-stopping result, or ``None`` on a miss."""
+        payload = self.read(KIND_ADAPTIVE, adaptive_cell_config(cell))
+        if payload is None:
+            return None
+        try:
+            result = adaptive_result_from_payload(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+        if result.cell != cell:
+            return None  # embedded cell drifted from the config: recompute
+        return result
+
+    def store_rare_event(self, result: RareEventResult) -> None:
+        """Persist one importance-sampled cell result."""
+        self.write(KIND_RARE_EVENT, rare_event_cell_config(result.cell),
+                   rare_event_result_to_payload(result))
+
+    def load_rare_event(self, cell: RareEventCell
+                        ) -> Optional[RareEventResult]:
+        """Load an importance-sampled result, or ``None`` on a miss."""
+        payload = self.read(KIND_RARE_EVENT, rare_event_cell_config(cell))
+        if payload is None:
+            return None
+        try:
+            result = rare_event_result_from_payload(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+        if result.cell != cell:
+            return None
+        return result
+
+    def store_scenario(self, result: ScenarioResult) -> None:
+        """Persist one time-varying channel scenario result."""
+        self.write(KIND_SCENARIO, scenario_cell_config(result.cell),
+                   scenario_result_to_payload(result))
+
+    def load_scenario(self, cell: ScenarioCell) -> Optional[ScenarioResult]:
+        """Load a scenario result, or ``None`` on a miss."""
+        payload = self.read(KIND_SCENARIO, scenario_cell_config(cell))
+        if payload is None:
+            return None
+        try:
+            result = scenario_result_from_payload(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+        if result.cell != cell:
+            return None
         return result
 
     def campaign_progress(self, cells: List[CampaignCell]) -> int:

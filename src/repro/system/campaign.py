@@ -118,6 +118,11 @@ class CampaignCell:
     def __post_init__(self) -> None:
         if self.frames < 1:
             raise ValueError(f"frames must be >= 1, got {self.frames}")
+        if self.interleaver.codeword_symbols != self.code.n_symbols:
+            raise ValueError(
+                "interleaver.codeword_symbols and code.n_symbols disagree: "
+                f"{self.interleaver.codeword_symbols} vs "
+                f"{self.code.n_symbols}")
 
     def to_dict(self) -> Dict[str, object]:
         """Flat JSON-friendly description (also the cache-key basis)."""
@@ -183,6 +188,17 @@ class CellResult:
     max_burst: int
     max_errors_interleaved: int
     max_errors_baseline: int
+
+    def __post_init__(self) -> None:
+        if self.codewords < 1:
+            raise ValueError(
+                f"codewords must be >= 1, got {self.codewords}")
+        for field in ("failed_interleaved", "failed_baseline"):
+            value = int(getattr(self, field))
+            if not 0 <= value <= self.codewords:
+                raise ValueError(
+                    f"{field} must be in [0, codewords={self.codewords}], "
+                    f"got {value}")
 
     @property
     def failure_rate_interleaved(self) -> float:
@@ -633,7 +649,11 @@ def export_csv(results: Sequence[CellResult], stream: TextIO) -> None:
             failure_rate_baseline=result.failure_rate_baseline,
             ci_low_baseline=low_b,
             ci_high_baseline=high_b,
-            gain=result.gain,
+            # Non-finite gains are unrepresentable in both documented
+            # export formats: JSON serializes them as null, CSV as an
+            # empty field.  The finite counts in the row reconstruct
+            # the gain either way.
+            gain=result.gain if math.isfinite(result.gain) else "",
             error_symbols=result.error_symbols,
             max_burst=result.max_burst,
             max_errors_interleaved=result.max_errors_interleaved,

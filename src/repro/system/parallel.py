@@ -56,9 +56,20 @@ from repro.interleaver.triangular import TriangularIndexSpace
 from repro.system.e2e import E2ECell, E2EResult, run_e2e
 from repro.system.shm import SharedChunks
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store -> parallel)
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store -> parallel,
+    # and campaign -> parallel, which rules out importing adaptive —
+    # a campaign client — at module level; the execute functions below
+    # import it lazily instead.
     from repro.mapping.base import InterleaverMapping
     from repro.store.store import ResultStore
+    from repro.system.adaptive import (
+        AdaptiveCell,
+        AdaptiveResult,
+        RareEventCell,
+        RareEventResult,
+        ScenarioCell,
+        ScenarioResult,
+    )
 
 
 @dataclass(frozen=True)
@@ -301,6 +312,65 @@ def execute_e2e_task(task: E2ETask) -> E2EResult:
     return run_e2e(task.cell)
 
 
+@dataclass(frozen=True)
+class AdaptiveTask:
+    """One adaptive-stopping Monte Carlo work item.
+
+    Like :class:`E2ETask`, the cell itself is already a declarative
+    frozen dataclass of primitives; the wrapper gives adaptive cells
+    the same task/worker shape — and the same ``--jobs`` bit-identity
+    contract — as every other grid in this module.
+
+    Attributes:
+        cell: the adaptive experiment to run.
+    """
+
+    cell: "AdaptiveCell"
+
+
+def execute_adaptive_task(task: AdaptiveTask) -> "AdaptiveResult":
+    """Run one :class:`AdaptiveTask` to completion (also the worker entry)."""
+    from repro.system.adaptive import evaluate_adaptive
+
+    return evaluate_adaptive(task.cell)
+
+
+@dataclass(frozen=True)
+class RareEventTask:
+    """One importance-sampled Monte Carlo work item.
+
+    Attributes:
+        cell: the rare-event experiment to run.
+    """
+
+    cell: "RareEventCell"
+
+
+def execute_rare_event_task(task: RareEventTask) -> "RareEventResult":
+    """Run one :class:`RareEventTask` to completion (also the worker entry)."""
+    from repro.system.adaptive import evaluate_rare_event
+
+    return evaluate_rare_event(task.cell)
+
+
+@dataclass(frozen=True)
+class ScenarioTask:
+    """One time-varying channel scenario work item.
+
+    Attributes:
+        cell: the piecewise-trajectory experiment to run.
+    """
+
+    cell: "ScenarioCell"
+
+
+def execute_scenario_task(task: ScenarioTask) -> "ScenarioResult":
+    """Run one :class:`ScenarioTask` to completion (also the worker entry)."""
+    from repro.system.adaptive import evaluate_scenario
+
+    return evaluate_scenario(task.cell)
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalize a ``--jobs``-style argument to a worker count.
 
@@ -462,3 +532,71 @@ def run_e2e_tasks(
         execute_e2e_task, tasks, jobs,
         lambda task: store.load_e2e(task.cell),
         lambda task, result: store.store_e2e(task.cell, result))
+
+
+def run_adaptive_tasks(
+    tasks: Iterable[AdaptiveTask],
+    jobs: Optional[int] = None,
+    store: Optional["ResultStore"] = None,
+) -> List[AdaptiveResult]:
+    """Execute adaptive-stopping campaign tasks.
+
+    Same contract as :func:`run_phase_tasks`: results in submission
+    order, bit-identical for any ``jobs`` value, serial fallback when
+    the pool is unavailable, store hits skipping the worker entirely.
+
+    Args:
+        tasks: work items; results come back in the same order.
+        jobs: worker processes (see :func:`resolve_jobs`).
+        store: optional shared result store.
+    """
+    if store is None:
+        return _run_tasks(execute_adaptive_task, tasks, jobs)
+    return _run_tasks_stored(
+        execute_adaptive_task, tasks, jobs,
+        lambda task: store.load_adaptive(task.cell),
+        lambda task, result: store.store_adaptive(result))
+
+
+def run_rare_event_tasks(
+    tasks: Iterable[RareEventTask],
+    jobs: Optional[int] = None,
+    store: Optional["ResultStore"] = None,
+) -> List[RareEventResult]:
+    """Execute importance-sampled campaign tasks.
+
+    Same contract as :func:`run_phase_tasks`.
+
+    Args:
+        tasks: work items; results come back in the same order.
+        jobs: worker processes (see :func:`resolve_jobs`).
+        store: optional shared result store.
+    """
+    if store is None:
+        return _run_tasks(execute_rare_event_task, tasks, jobs)
+    return _run_tasks_stored(
+        execute_rare_event_task, tasks, jobs,
+        lambda task: store.load_rare_event(task.cell),
+        lambda task, result: store.store_rare_event(result))
+
+
+def run_scenario_tasks(
+    tasks: Iterable[ScenarioTask],
+    jobs: Optional[int] = None,
+    store: Optional["ResultStore"] = None,
+) -> List[ScenarioResult]:
+    """Execute time-varying channel scenario tasks.
+
+    Same contract as :func:`run_phase_tasks`.
+
+    Args:
+        tasks: work items; results come back in the same order.
+        jobs: worker processes (see :func:`resolve_jobs`).
+        store: optional shared result store.
+    """
+    if store is None:
+        return _run_tasks(execute_scenario_task, tasks, jobs)
+    return _run_tasks_stored(
+        execute_scenario_task, tasks, jobs,
+        lambda task: store.load_scenario(task.cell),
+        lambda task, result: store.store_scenario(result))

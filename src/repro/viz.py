@@ -19,6 +19,7 @@ from repro.mapping.optimized import OptimizedMapping
 
 if TYPE_CHECKING:
     from repro.dram.geometry import Geometry
+    from repro.system.adaptive import AdaptiveResult
     from repro.system.campaign import CampaignSummary
     from repro.system.sweep import E2ERow
     from repro.system.throughput import EnergyProvisioningPoint
@@ -132,6 +133,46 @@ def render_campaign_gains(summaries: Iterable[CampaignSummary],
             f"{summary.interleaver.triangle_n:4d}  {bar} "
             f"{summary.failure_rate_interleaved:10.2e} "
             f"[{low:.2e},{high:.2e}] {label}"
+        )
+    return "\n".join(lines)
+
+
+def render_adaptive_savings(results: Iterable[AdaptiveResult],
+                            width: int = 30) -> str:
+    """Frame savings of adaptive stopping as a text chart.
+
+    One line per adaptive cell, ordered like the campaign chart (fade,
+    fraction, triangle, seed): the bar is the fraction of the frame
+    budget actually *spent* on a linear scale — a short bar means
+    adaptive stopping saved most of the budget — captioned with the
+    frames spent, the budget, the savings ratio and whether the CI
+    target converged before the cap.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    rows = sorted(
+        results,
+        key=lambda r: (r.cell.channel.mean_fade_symbols,
+                       r.cell.channel.stationary_bad,
+                       r.cell.interleaver.triangle_n, r.cell.seed),
+    )
+    if not rows:
+        return "(no adaptive results)"
+    lines = [f"{'fade':>6s} {'frac':>7s} {'n':>4s} {'seed':>6s}  "
+             f"{'frames spent / budget':{width}s} {'used':>13s} "
+             f"{'saved':>7s} {'conv':>4s}"]
+    for outcome in rows:
+        cell = outcome.cell
+        fraction = outcome.frames_used / cell.max_frames
+        filled = round(min(1.0, fraction) * width)
+        bar = "#" * filled + "-" * (width - filled)
+        frames_text = f"{outcome.frames_used}/{cell.max_frames}"
+        lines.append(
+            f"{cell.channel.mean_fade_symbols:6.0f} "
+            f"{cell.channel.stationary_bad:7.4f} "
+            f"{cell.interleaver.triangle_n:4d} {cell.seed:6d}  {bar} "
+            f"{frames_text:>13s} {outcome.frames_saved_ratio:6.1f}x "
+            f"{'yes' if outcome.converged else 'cap':>4s}"
         )
     return "\n".join(lines)
 

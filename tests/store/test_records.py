@@ -233,3 +233,104 @@ class TestPayloadRoundTrips:
         downlink = downlink_result_from_payload(
             through_json(downlink_result_to_payload(result.downlink)))
         assert downlink == result.downlink
+
+
+class TestAdaptiveRecordKinds:
+    """The three estimator kinds added with schema version 2."""
+
+    def _adaptive_cell(self):
+        from repro.system.adaptive import AdaptiveCell
+        return AdaptiveCell(channel=CHANNEL, interleaver=INTERLEAVER,
+                            code=CODE, seed=5, max_frames=60,
+                            ci_width=0.05, batch_frames=16)
+
+    def _rare_event_cell(self):
+        from repro.system.adaptive import RareEventCell, default_proposal
+        return RareEventCell(channel=CHANNEL,
+                             proposal=default_proposal(CHANNEL, 4.0),
+                             interleaver=INTERLEAVER, code=CODE,
+                             seed=5, frames=20)
+
+    def _scenario_cell(self):
+        from repro.system.adaptive import ScenarioCell, contact_pass_segments
+        return ScenarioCell(segments=contact_pass_segments(
+            frames_per_segment=2), interleaver=INTERLEAVER, code=CODE, seed=5)
+
+    def test_kinds_are_distinct_namespaces(self):
+        from repro.store.records import (
+            KIND_ADAPTIVE,
+            KIND_RARE_EVENT,
+            KIND_SCENARIO,
+        )
+        kinds = {KIND_CAMPAIGN, KIND_ADAPTIVE, KIND_RARE_EVENT, KIND_SCENARIO}
+        assert len(kinds) == 4
+        config = {"n": 8}
+        keys = {derive_key(kind, config) for kind in kinds}
+        assert len(keys) == 4
+
+    def test_adaptive_config_and_payload_roundtrip(self):
+        from repro.store.records import (
+            adaptive_cell_config,
+            adaptive_cell_from_config,
+            adaptive_result_from_payload,
+            adaptive_result_to_payload,
+        )
+        from repro.system.adaptive import evaluate_adaptive
+        cell = self._adaptive_cell()
+        config = adaptive_cell_config(cell)
+        assert config["cache_version"] == CACHE_VERSION
+        assert adaptive_cell_from_config(through_json(config)) == cell
+        result = evaluate_adaptive(cell)
+        loaded = adaptive_result_from_payload(
+            through_json(adaptive_result_to_payload(result)))
+        assert loaded == result
+
+    def test_rare_event_config_and_payload_roundtrip(self):
+        from repro.store.records import (
+            rare_event_cell_config,
+            rare_event_cell_from_config,
+            rare_event_result_from_payload,
+            rare_event_result_to_payload,
+        )
+        from repro.system.adaptive import evaluate_rare_event
+        cell = self._rare_event_cell()
+        config = rare_event_cell_config(cell)
+        assert config["cache_version"] == CACHE_VERSION
+        assert rare_event_cell_from_config(through_json(config)) == cell
+        result = evaluate_rare_event(cell)
+        loaded = rare_event_result_from_payload(
+            through_json(rare_event_result_to_payload(result)))
+        assert loaded == result
+        # the float accumulators must survive the JSON trip exactly
+        assert loaded.sum_weight == result.sum_weight
+        assert (loaded.weighted_failed_baseline_sq
+                == result.weighted_failed_baseline_sq)
+
+    def test_scenario_config_and_payload_roundtrip(self):
+        from repro.store.records import (
+            scenario_cell_config,
+            scenario_cell_from_config,
+            scenario_result_from_payload,
+            scenario_result_to_payload,
+        )
+        from repro.system.adaptive import evaluate_scenario
+        cell = self._scenario_cell()
+        config = scenario_cell_config(cell)
+        assert config["cache_version"] == CACHE_VERSION
+        assert scenario_cell_from_config(through_json(config)) == cell
+        result = evaluate_scenario(cell)
+        loaded = scenario_result_from_payload(
+            through_json(scenario_result_to_payload(result)))
+        assert loaded == result
+
+    def test_store_rejects_foreign_cell_payload(self, tmp_path):
+        from repro.store.store import ResultStore
+        from repro.system.adaptive import AdaptiveCell, evaluate_adaptive
+        store = ResultStore(str(tmp_path))
+        cell = self._adaptive_cell()
+        store.store_adaptive(evaluate_adaptive(cell))
+        other = AdaptiveCell(channel=CHANNEL, interleaver=INTERLEAVER,
+                             code=CODE, seed=6, max_frames=60,
+                             ci_width=0.05, batch_frames=16)
+        assert store.load_adaptive(cell) is not None
+        assert store.load_adaptive(other) is None

@@ -1,5 +1,6 @@
 """Monte Carlo campaign engine: grid, statistics, cache, determinism."""
 
+import csv
 import io
 import json
 import math
@@ -76,6 +77,37 @@ class TestWilsonInterval:
         with pytest.raises(ValueError):
             wilson_interval(1, 10, z=0.0)
 
+    # -- property sweep (the adaptive stopping rule leans on these) ---
+
+    @pytest.mark.parametrize("trials", [1, 2, 10, 100, 10000])
+    @pytest.mark.parametrize("numerator", [0, 1, 2])
+    def test_property_interval_within_unit_range(self, trials, numerator):
+        failures = min(trials, (trials * numerator) // 2)
+        low, high = wilson_interval(failures, trials)
+        assert 0.0 <= low <= high <= 1.0
+
+    @pytest.mark.parametrize("failures,trials",
+                             [(0, 1), (1, 1), (1, 3), (7, 200), (50, 50),
+                              (999, 1000)])
+    def test_property_interval_contains_point_estimate(self, failures,
+                                                       trials):
+        low, high = wilson_interval(failures, trials)
+        assert low <= failures / trials <= high
+
+    @pytest.mark.parametrize("rate_num,rate_den", [(0, 1), (1, 20), (1, 2)])
+    def test_property_half_width_shrinks_monotonically_in_trials(
+            self, rate_num, rate_den):
+        # Fixed observed rate, growing sample: the half-width — the
+        # adaptive stopping criterion — must only ever shrink.
+        widths = []
+        for scale in (1, 4, 16, 64, 256):
+            trials = rate_den * scale
+            failures = rate_num * scale
+            low, high = wilson_interval(failures, trials)
+            widths.append((high - low) / 2.0)
+        assert all(earlier > later
+                   for earlier, later in zip(widths, widths[1:]))
+
 
 class TestGridAndCells:
     def test_grid_is_full_cross_product(self):
@@ -111,6 +143,34 @@ class TestGridAndCells:
     def test_rejects_zero_frames(self):
         with pytest.raises(ValueError):
             CampaignCell(CHANNEL, INTERLEAVER, CODE, seed=0, frames=0)
+
+    def test_zero_frames_error_names_the_field(self):
+        with pytest.raises(ValueError, match="frames"):
+            CampaignCell(CHANNEL, INTERLEAVER, CODE, seed=0, frames=0)
+        with pytest.raises(ValueError, match="frames"):
+            CampaignCell(CHANNEL, INTERLEAVER, CODE, seed=0, frames=-5)
+
+    def test_rejects_mismatched_dimensions(self):
+        bad_code = CodewordConfig(n_symbols=30, t_correctable=2)
+        with pytest.raises(ValueError, match="codeword_symbols"):
+            CampaignCell(CHANNEL, INTERLEAVER, bad_code, seed=0, frames=10)
+
+    def test_cell_result_rejects_zero_codewords(self):
+        cell = _cells(seeds=[1], frames=10)[0]
+        with pytest.raises(ValueError, match="codewords"):
+            CellResult(cell, 0, 0, 0, 0, 0, 0, 0)
+
+    @pytest.mark.parametrize("field_index,field_name",
+                             [(0, "failed_interleaved"),
+                              (1, "failed_baseline")])
+    def test_cell_result_rejects_out_of_range_failures(self, field_index,
+                                                       field_name):
+        cell = _cells(seeds=[1], frames=10)[0]
+        for bad_value in (-1, 101):
+            failed = [0, 0]
+            failed[field_index] = bad_value
+            with pytest.raises(ValueError, match=field_name):
+                CellResult(cell, 100, failed[0], failed[1], 0, 0, 0, 0)
 
 
 class TestEvaluateCell:
@@ -321,6 +381,34 @@ class TestSummaryAndExports:
         assert "Infinity" not in text
         document = json.loads(text)
         assert document["summaries"][0]["pooled_gain"] is None
+
+    def test_export_csv_infinite_gain_is_empty_field(self):
+        # Regression: the CSV export used to print `inf` where the JSON
+        # export emits null.  Both documented conventions now agree:
+        # a non-finite gain is an *absent* value — null in JSON, an
+        # empty field in CSV.
+        cell = _cells(seeds=[1], frames=10)[0]
+        perfect = CellResult(cell, 100, 0, 9, 12, 4, 0, 8)
+        assert math.isinf(perfect.gain)
+
+        csv_stream = io.StringIO()
+        export_csv([perfect], csv_stream)
+        row = next(csv.DictReader(io.StringIO(csv_stream.getvalue())))
+        assert row["gain"] == ""
+        assert "inf" not in csv_stream.getvalue()
+
+        json_stream = io.StringIO()
+        export_json([perfect], summarize_campaign([perfect]), json_stream)
+        document = json.loads(json_stream.getvalue())
+        assert document["summaries"][0]["pooled_gain"] is None
+
+    def test_export_csv_finite_gain_still_numeric(self):
+        cell = _cells(seeds=[1], frames=10)[0]
+        partial = CellResult(cell, 100, 2, 8, 10, 3, 3, 9)
+        stream = io.StringIO()
+        export_csv([partial], stream)
+        row = next(csv.DictReader(io.StringIO(stream.getvalue())))
+        assert float(row["gain"]) == 4.0
 
     def test_export_csv_rows(self):
         results = run_campaign(_cells(seeds=(1, 2), frames=15))

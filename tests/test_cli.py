@@ -305,6 +305,81 @@ class TestCampaign:
         capsys.readouterr()
 
 
+class TestCampaignAdaptiveModes:
+    def test_adaptive_mode_runs(self, capsys):
+        assert main(CAMPAIGN_SMALL + ["--ci-width", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "half-width" in out
+        assert "budgeted frames" in out
+        assert "frames spent / budget" in out  # savings chart follows
+
+    def test_adaptive_no_chart(self, capsys):
+        assert main(CAMPAIGN_SMALL + ["--ci-width", "0.05",
+                                      "--no-chart"]) == 0
+        assert "frames spent / budget" not in capsys.readouterr().out
+
+    def test_adaptive_exports(self, tmp_path, capsys):
+        json_path = tmp_path / "adaptive.json"
+        csv_path = tmp_path / "adaptive.csv"
+        assert main(CAMPAIGN_SMALL + ["--ci-width", "0.05",
+                                      "--json", str(json_path),
+                                      "--csv", str(csv_path)]) == 0
+        capsys.readouterr()
+        import json as json_module
+        document = json_module.loads(json_path.read_text())
+        assert len(document["cells"]) == 2
+        assert len(csv_path.read_text().strip().splitlines()) == 3
+
+    def test_adaptive_store_runs_are_byte_identical(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        command = CAMPAIGN_SMALL + ["--ci-width", "0.05", "--store", store]
+        assert main(command) == 0
+        first = capsys.readouterr().out
+        assert main(command) == 0
+        assert capsys.readouterr().out == first
+
+    def test_rare_event_mode_runs(self, capsys):
+        assert main(CAMPAIGN_SMALL + ["--rare-event", "--boost", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ESS" in out
+        assert "importance sampling" in out
+
+    def test_scenario_mode_runs(self, capsys):
+        assert main(CAMPAIGN_SMALL + ["--scenario", "contact-pass"]) == 0
+        out = capsys.readouterr().out
+        assert "triangle_n=15 (contact-pass, 2 seed(s))" in out
+        assert "el=10" in out and "el=90" in out
+        assert "total" in out
+
+    def test_rejects_mixed_modes(self, capsys):
+        assert main(CAMPAIGN_SMALL + ["--ci-width", "0.05",
+                                      "--rare-event"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+        assert main(CAMPAIGN_SMALL + ["--rare-event",
+                                      "--scenario", "contact-pass"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_rejects_bad_targets(self, capsys):
+        assert main(CAMPAIGN_SMALL + ["--ci-width", "-1"]) == 2
+        assert "--ci-width must be positive" in capsys.readouterr().err
+        assert main(CAMPAIGN_SMALL + ["--ci-rel", "0"]) == 2
+        assert "--ci-rel must be positive" in capsys.readouterr().err
+        assert main(CAMPAIGN_SMALL + ["--ci-width", "0.05",
+                                      "--batch-frames", "0"]) == 2
+        assert "--batch-frames must be >= 1" in capsys.readouterr().err
+        assert main(CAMPAIGN_SMALL + ["--rare-event", "--boost", "0.5"]) == 2
+        assert "--boost must be >= 1" in capsys.readouterr().err
+
+    def test_rejects_exports_outside_supported_modes(self, tmp_path, capsys):
+        csv_path = str(tmp_path / "out.csv")
+        assert main(CAMPAIGN_SMALL + ["--rare-event",
+                                      "--csv", csv_path]) == 2
+        assert "naive and adaptive" in capsys.readouterr().err
+        assert main(CAMPAIGN_SMALL + ["--scenario", "contact-pass",
+                                      "--json", csv_path]) == 2
+        assert "naive and adaptive" in capsys.readouterr().err
+
+
 E2E_SMALL = ["e2e", "--n", "15", "--frames", "8",
              "--configs", "DDR4-3200", "LPDDR4-4266"]
 
