@@ -1,0 +1,49 @@
+"""E8 — scheduling-policy zoo: per-policy throughput on the Table I grid.
+
+Times one full Table I pass (all ten configurations, optimized
+mapping, write + read phases) per scheduling discipline at n=512 and
+records both the wall-clock throughput (requests scheduled per second)
+and the resulting utilizations in ``extra_info``.  The open-page row
+doubles as the baseline: every other discipline's utilization delta is
+physics (closed-page pays a full ACT/PRE per burst, bank partitioning
+halves each phase's bank-level parallelism), not scheduler overhead.
+"""
+
+import time
+
+import pytest
+
+from repro.dram.policy import POLICY_NAMES
+from repro.dram.presets import TABLE1_CONFIG_NAMES
+from repro.system.sweep import run_policy_table
+
+#: Interleaver size for the throughput grid (~131 k bursts per phase).
+POLICY_BENCH_N = 512
+
+#: Requests per phase at ``POLICY_BENCH_N`` (triangular number).
+_REQUESTS_PER_PHASE = POLICY_BENCH_N * (POLICY_BENCH_N + 1) // 2
+
+
+@pytest.mark.paper_artifact("Policy zoo throughput")
+@pytest.mark.parametrize("discipline", POLICY_NAMES)
+def test_policy_grid_throughput(benchmark, discipline):
+    def grid():
+        return run_policy_table(n=POLICY_BENCH_N, disciplines=(discipline,))
+
+    # Wall-clock around pedantic: benchmark.stats is unavailable under
+    # --benchmark-disable (the CI smoke run), a plain timer always is.
+    t0 = time.perf_counter()
+    rows = benchmark.pedantic(grid, rounds=1, iterations=1)
+    seconds = time.perf_counter() - t0
+
+    assert len(rows) == len(TABLE1_CONFIG_NAMES)
+    phases = 2 * len(rows)
+    benchmark.extra_info["discipline"] = discipline
+    benchmark.extra_info["grid_s"] = round(seconds, 2)
+    benchmark.extra_info["requests_per_s"] = round(
+        phases * _REQUESTS_PER_PHASE / seconds)
+    benchmark.extra_info["min_utilization_pct"] = {
+        row.config_name: round(row.min_utilization * 100, 2) for row in rows}
+    for row in rows:
+        assert row.discipline == discipline
+        assert 0.0 < row.min_utilization <= 1.0

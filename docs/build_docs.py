@@ -58,6 +58,7 @@ PAGES = (
     ("index", "Overview"),
     ("architecture", "Architecture"),
     ("kernel", "Scheduling kernel"),
+    ("policy", "Scheduling-policy zoo"),
     ("reproduction", "Reproduction guide"),
     ("campaign", "Campaign estimators"),
     ("analysis", "Static analysis"),

@@ -2,16 +2,20 @@
 
 The differential proof pattern only means something while the oracles
 stay independent: :mod:`repro.dram._reference` (the seed schedulers,
-frozen verbatim) and the ``*_reference`` scalar oracles must never leak
-into production code paths, or a bug could propagate into the very
-reference the vectorized path is "proven" against.  R001 flags any
-import of the ``_reference`` module, and any import of a
-``*_reference`` symbol, from ``src/`` code.
+frozen verbatim), :mod:`repro.dram._policy_reference` (the scalar
+references for the non-default scheduling disciplines) and the
+``*_reference`` scalar oracles must never leak into production code
+paths, or a bug could propagate into the very reference the vectorized
+path is "proven" against.  R001 flags any import of an oracle module,
+and any import of a ``*_reference`` symbol, from ``src/`` code.
 
-Refinement (documented, not a suppression): package ``__init__``
+Refinements (documented, not suppressions): package ``__init__``
 modules re-export ``*_reference`` oracles as public API for tests and
 benchmarks to import — the name check exempts ``__init__.py``, while
-the ``_reference``-module check applies everywhere under ``src/``.
+the oracle-module check applies everywhere under ``src/``.  The oracle
+modules themselves are exempt entirely: an oracle may build on another
+oracle (``_policy_reference`` dispatches to ``_reference`` for the
+open-page discipline) without ever touching production code.
 """
 
 from __future__ import annotations
@@ -22,8 +26,8 @@ from typing import Iterator
 from repro.analysis.base import FileContext, Rule, register
 from repro.analysis.findings import Finding
 
-#: The frozen oracle module's basename.
-ORACLE_MODULE = "_reference"
+#: The frozen oracle modules' basenames.
+ORACLE_MODULES = ("_reference", "_policy_reference")
 
 #: Suffix marking frozen scalar-oracle symbols.
 ORACLE_SUFFIX = "_reference"
@@ -45,10 +49,13 @@ class OracleIsolationRule(Rule):
 
     def check(self, context: FileContext) -> Iterator[Finding]:
         """Flag oracle imports in production code."""
+        if context.module and context.module.split(".")[-1] in ORACLE_MODULES:
+            return  # oracle modules may build on each other
         for node in ast.walk(context.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
-                    if ORACLE_MODULE in alias.name.split("."):
+                    if any(part in ORACLE_MODULES
+                           for part in alias.name.split(".")):
                         yield context.finding(
                             self, node,
                             f"import of frozen oracle module "
@@ -56,7 +63,7 @@ class OracleIsolationRule(Rule):
                             f"(import them from tests/ or benchmarks/)")
             elif isinstance(node, ast.ImportFrom):
                 module = node.module or ""
-                if module.split(".")[-1] == ORACLE_MODULE:
+                if module.split(".")[-1] in ORACLE_MODULES:
                     yield context.finding(
                         self, node,
                         f"import from frozen oracle module {module!r}: "

@@ -41,6 +41,8 @@ HOT_PATHS: Dict[str, str] = {
         "the channel dwell sampler (every frame)",
     "repro.channel.gilbert_elliott.GilbertElliottChannel._sample_batch":
         "the batched channel core (every campaign cell)",
+    "repro.dram.engine._PartitionedSource.batches":
+        "the bank-partition intake remap (every partitioned chunk)",
     "repro.dram.energy.energy_from_commands":
         "the vectorized energy recount",
     "repro.dram.energy.energy_from_commands_reference":

@@ -4,6 +4,8 @@ Commands:
 
 * ``table1``    — regenerate the paper's Table I (any subset of configs)
 * ``mixed``     — steady-state interleaved read/write utilization
+* ``policy``    — utilization across the scheduling-policy zoo
+  (config x discipline grid; see :mod:`repro.dram.policy`)
 * ``ablation``  — per-optimization ablation of the optimized mapping
 * ``energy``    — per-frame energy table and the provisioning Pareto chart
 * ``fig1``      — render the Fig. 1 mapping panels as text
@@ -11,7 +13,8 @@ Commands:
 * ``campaign``  — Monte Carlo downlink campaign over a fade/geometry
   grid; ``--ci-width``/``--ci-rel`` switch to adaptive stopping,
   ``--rare-event`` to importance sampling, ``--scenario`` to
-  time-varying channel trajectories
+  time-varying channel trajectories (``contact-pass``, ``weather``
+  cloud-attenuation traces, ``multi-pass`` contact windows)
 * ``e2e``       — joint downlink -> DRAM co-simulation table (FER +
   utilization + per-frame latency percentiles + energy per cell)
 * ``provision`` — size a DRAM system for a target line rate
@@ -35,7 +38,10 @@ instead of re-simulated, byte-identically.  ``table1``, ``mixed``,
 schedule through the batch-advance kernel engine
 (:mod:`repro.dram.kernel`): results and store keys are bit-identical
 to the reference arbiter, only faster, so kernel and reference runs
-share cache entries freely.
+share cache entries freely.  ``table1``, ``mixed``, ``energy`` and
+``e2e`` accept ``--policy DISCIPLINE`` (plus ``--cap K`` for
+``frfcfs-cap``) to swap the scheduling discipline; the default
+``open-page`` reproduces the historical behaviour bit-for-bit.
 
 Every command prints plain text and exits non-zero on bad arguments, so
 the CLI is scriptable from shell pipelines.
@@ -52,7 +58,13 @@ import numpy as np
 
 from repro.channel.codeword import CodewordConfig
 from repro.channel.gilbert_elliott import GilbertElliottParams, coherence_params
-from repro.dram.controller import ENGINE_GENERAL, ENGINE_KERNEL, ControllerConfig
+from repro.dram.controller import (
+    ENGINE_GENERAL,
+    ENGINE_KERNEL,
+    POLICY_NAMES,
+    POLICY_OPEN_PAGE,
+    ControllerConfig,
+)
 from repro.dram.presets import TABLE1_CONFIG_NAMES, all_configs, get_config
 from repro.dram.simulator import simulate_interleaver
 from repro.interleaver.triangular import RectangularIndexSpace, TriangularIndexSpace
@@ -71,6 +83,8 @@ from repro.system.adaptive import (
     format_adaptive,
     format_rare_event,
     format_scenario,
+    multi_pass_segments,
+    weather_segments,
 )
 from repro.system.campaign import (
     campaign_report,
@@ -93,10 +107,12 @@ from repro.system.sweep import (
     format_e2e_table,
     format_energy_table,
     format_mixed_table,
+    format_policy_table,
     format_table1,
     run_e2e_table,
     run_energy_table,
     run_mixed_table,
+    run_policy_table,
     run_table1,
     sweep_ablation,
 )
@@ -138,6 +154,34 @@ def _engine_from(args: argparse.Namespace) -> str:
     return ENGINE_KERNEL if getattr(args, "kernel", False) else ENGINE_GENERAL
 
 
+def _add_policy_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--policy", choices=POLICY_NAMES,
+                        default=POLICY_OPEN_PAGE, metavar="DISCIPLINE",
+                        help="scheduling discipline "
+                             f"({', '.join(POLICY_NAMES)}; default "
+                             f"{POLICY_OPEN_PAGE}, the paper's operating "
+                             "point and bit-identical to pre-policy runs)")
+    parser.add_argument("--cap", type=int, default=4, metavar="K",
+                        help="row-hit streak cap under frfcfs-cap "
+                             "(default 4; ignored by other disciplines)")
+
+
+def _policy_error(args: argparse.Namespace) -> Optional[str]:
+    """Validate the ``--policy``/``--cap`` combination; message on error."""
+    if getattr(args, "cap", 4) < 1:
+        return f"--cap must be >= 1, got {args.cap}"
+    return None
+
+
+def _policy_from(args: argparse.Namespace) -> ControllerConfig:
+    """The controller policy a CLI invocation selected."""
+    return ControllerConfig(refresh_enabled=not getattr(args, "no_refresh",
+                                                        False),
+                            discipline=getattr(args, "policy",
+                                               POLICY_OPEN_PAGE),
+                            cap=getattr(args, "cap", 4))
+
+
 def _add_store_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--store", metavar="DIR",
                         help="shared content-addressed result store: reuse "
@@ -157,6 +201,7 @@ def _add_table1(subparsers: Any) -> None:
                         help="disable refresh (the paper's >99%% experiment)")
     parser.add_argument("--configs", nargs="*", metavar="NAME",
                         help="subset of configurations (default: all ten)")
+    _add_policy_arguments(parser)
     _add_jobs_argument(parser)
     _add_store_argument(parser)
     _add_kernel_argument(parser)
@@ -169,7 +214,11 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     if unknown:
         print(f"error: unknown configurations {sorted(unknown)}", file=sys.stderr)
         return 2
-    policy = ControllerConfig(refresh_enabled=not args.no_refresh)
+    policy_error = _policy_error(args)
+    if policy_error:
+        print(f"error: {policy_error}", file=sys.stderr)
+        return 2
+    policy = _policy_from(args)
     rows = run_table1(n=args.n, config_names=names, policy=policy,
                       jobs=args.jobs, store=_open_store(args),
                       engine=_engine_from(args))
@@ -190,6 +239,7 @@ def _add_mixed(subparsers: Any) -> None:
                         help="disable refresh (the paper's >99%% experiment)")
     parser.add_argument("--configs", nargs="*", metavar="NAME",
                         help="subset of configurations (default: all ten)")
+    _add_policy_arguments(parser)
     _add_jobs_argument(parser)
     _add_store_argument(parser)
     _add_kernel_argument(parser)
@@ -205,7 +255,11 @@ def _cmd_mixed(args: argparse.Namespace) -> int:
     if args.group < 1:
         print("error: --group must be >= 1", file=sys.stderr)
         return 2
-    policy = ControllerConfig(refresh_enabled=not args.no_refresh)
+    policy_error = _policy_error(args)
+    if policy_error:
+        print(f"error: {policy_error}", file=sys.stderr)
+        return 2
+    policy = _policy_from(args)
     rows = run_mixed_table(n=args.n, config_names=names, group=args.group,
                            policy=policy, jobs=args.jobs,
                            store=_open_store(args),
@@ -270,6 +324,7 @@ def _add_energy(subparsers: Any) -> None:
     parser.add_argument("--csv", metavar="PATH",
                         help="write one CSV row per provisioning Pareto "
                              "point")
+    _add_policy_arguments(parser)
     _add_jobs_argument(parser)
     _add_store_argument(parser)
     _add_kernel_argument(parser)
@@ -289,7 +344,11 @@ def _cmd_energy(args: argparse.Namespace) -> int:
         print("error: --csv exports the Pareto points, which --no-pareto "
               "skips", file=sys.stderr)
         return 2
-    policy = ControllerConfig(refresh_enabled=not args.no_refresh)
+    policy_error = _policy_error(args)
+    if policy_error:
+        print(f"error: {policy_error}", file=sys.stderr)
+        return 2
+    policy = _policy_from(args)
     rows = run_energy_table(n=args.n, config_names=names, policy=policy,
                             jobs=args.jobs, store=_open_store(args),
                             engine=_engine_from(args))
@@ -306,6 +365,61 @@ def _cmd_energy(args: argparse.Namespace) -> int:
         if args.csv:
             write_csv_rows(args.csv, PARETO_CSV_FIELDS,
                            pareto_csv_rows(points))
+    return 0
+
+
+def _add_policy(subparsers: Any) -> None:
+    parser = subparsers.add_parser(
+        "policy",
+        help="sweep the scheduling-policy axis: every configuration "
+             "under every page-management discipline")
+    parser.add_argument("--n", type=int, default=256,
+                        help="triangle dimension (default 256)")
+    parser.add_argument("--no-refresh", action="store_true",
+                        help="disable refresh (the paper's >99%% experiment)")
+    parser.add_argument("--configs", nargs="*", metavar="NAME",
+                        help="subset of configurations (default: all ten)")
+    parser.add_argument("--disciplines", nargs="*", metavar="DISCIPLINE",
+                        help=f"subset of disciplines (default: all of "
+                             f"{', '.join(POLICY_NAMES)})")
+    parser.add_argument("--mapping", choices=("row-major", "optimized"),
+                        default="optimized",
+                        help="Table I mapping every cell uses "
+                             "(default optimized)")
+    parser.add_argument("--cap", type=int, default=4, metavar="K",
+                        help="row-hit streak cap of the frfcfs-cap cells "
+                             "(default 4)")
+    _add_jobs_argument(parser)
+    _add_store_argument(parser)
+    _add_kernel_argument(parser)
+    parser.set_defaults(func=_cmd_policy)
+
+
+def _cmd_policy(args: argparse.Namespace) -> int:
+    names = tuple(args.configs) if args.configs else TABLE1_CONFIG_NAMES
+    unknown = set(names) - set(TABLE1_CONFIG_NAMES)
+    if unknown:
+        print(f"error: unknown configurations {sorted(unknown)}", file=sys.stderr)
+        return 2
+    disciplines = (tuple(args.disciplines) if args.disciplines
+                   else POLICY_NAMES)
+    unknown = set(disciplines) - set(POLICY_NAMES)
+    if unknown:
+        print(f"error: unknown disciplines {sorted(unknown)}; "
+              f"known: {list(POLICY_NAMES)}", file=sys.stderr)
+        return 2
+    policy_error = _policy_error(args)
+    if policy_error:
+        print(f"error: {policy_error}", file=sys.stderr)
+        return 2
+    base = ControllerConfig(refresh_enabled=not args.no_refresh,
+                            cap=args.cap)
+    rows = run_policy_table(n=args.n, config_names=names,
+                            disciplines=disciplines, mapping=args.mapping,
+                            policy=base, jobs=args.jobs,
+                            store=_open_store(args),
+                            engine=_engine_from(args))
+    print(format_policy_table(rows))
     return 0
 
 
@@ -422,11 +536,22 @@ def _add_campaign(subparsers: Any) -> None:
     parser.add_argument("--boost", type=float, default=8.0,
                         help="rare-event mode: fade tilt factor of the "
                              "proposal chain (default 8)")
-    parser.add_argument("--scenario", choices=("contact-pass",),
+    parser.add_argument("--scenario",
+                        choices=("contact-pass", "weather", "multi-pass"),
                         help="run a time-varying channel scenario instead "
-                             "of the static grid (fade statistics follow "
-                             "the elevation profile; --fade-symbols/"
-                             "--fade-fraction set the zenith anchor)")
+                             "of the static grid: contact-pass follows one "
+                             "elevation profile, weather a cloud-"
+                             "attenuation trace, multi-pass several "
+                             "elevation passes in a row (--fade-symbols/"
+                             "--fade-fraction set the zenith / clear-sky "
+                             "anchor)")
+    parser.add_argument("--passes", type=int, default=3, metavar="P",
+                        help="multi-pass scenario: contact passes in the "
+                             "window (default 3)")
+    parser.add_argument("--attenuations-db", type=float, nargs="+",
+                        metavar="A",
+                        help="weather scenario: cloud attenuation steps in "
+                             "dB (default: a 0->6->0 dB cloud transit)")
     parser.add_argument("--json", metavar="PATH",
                         help="write cells + summaries as JSON")
     parser.add_argument("--csv", metavar="PATH",
@@ -533,16 +658,52 @@ def _cmd_campaign_rare_event(args: argparse.Namespace,
     return 0
 
 
-def _cmd_campaign_scenario(args: argparse.Namespace,
-                           store: Optional[ResultStore]) -> int:
-    try:
-        segments = contact_pass_segments(
+def _scenario_segments(args: argparse.Namespace) -> Any:
+    """Build the trajectory a ``--scenario`` invocation selected.
+
+    ``--fade-symbols``/``--fade-fraction`` anchor the *benign* end of
+    every trajectory — the zenith for the elevation scenarios, the
+    clear sky for the weather one.
+
+    Raises:
+        ValueError: on anchor statistics or step values the builders
+            reject.
+    """
+    if args.scenario == "weather":
+        attenuations = (tuple(args.attenuations_db)
+                        if args.attenuations_db is not None else None)
+        kwargs = {} if attenuations is None else {
+            "attenuations_db": attenuations}
+        return weather_segments(
+            frames_per_segment=args.frames,
+            clear_fade_symbols=args.fade_symbols[0],
+            clear_fade_fraction=args.fade_fraction[0],
+            p_bad=args.p_bad,
+            p_good=args.p_good,
+            **kwargs,
+        )
+    if args.scenario == "multi-pass":
+        return multi_pass_segments(
+            passes=args.passes,
             frames_per_segment=args.frames,
             zenith_fade_symbols=args.fade_symbols[0],
             zenith_fade_fraction=args.fade_fraction[0],
             p_bad=args.p_bad,
             p_good=args.p_good,
         )
+    return contact_pass_segments(
+        frames_per_segment=args.frames,
+        zenith_fade_symbols=args.fade_symbols[0],
+        zenith_fade_fraction=args.fade_fraction[0],
+        p_bad=args.p_bad,
+        p_good=args.p_good,
+    )
+
+
+def _cmd_campaign_scenario(args: argparse.Namespace,
+                           store: Optional[ResultStore]) -> int:
+    try:
+        segments = _scenario_segments(args)
         cells = [
             ScenarioCell(
                 segments=segments,
@@ -648,6 +809,7 @@ def _add_e2e(subparsers: Any) -> None:
                         help="subset of configurations (default: all ten)")
     parser.add_argument("--no-chart", action="store_true",
                         help="skip the latency-percentile chart")
+    _add_policy_arguments(parser)
     _add_jobs_argument(parser)
     _add_store_argument(parser)
     parser.set_defaults(func=_cmd_e2e)
@@ -662,7 +824,11 @@ def _cmd_e2e(args: argparse.Namespace) -> int:
     if args.frames < 1:
         print("error: --frames must be >= 1", file=sys.stderr)
         return 2
-    policy = ControllerConfig(refresh_enabled=not args.no_refresh)
+    policy_error = _policy_error(args)
+    if policy_error:
+        print(f"error: {policy_error}", file=sys.stderr)
+        return 2
+    policy = _policy_from(args)
     try:
         channel = coherence_params(args.fade_symbols, args.fade_fraction,
                                    p_bad=args.p_bad, p_good=args.p_good)
@@ -903,6 +1069,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_table1(subparsers)
     _add_mixed(subparsers)
+    _add_policy(subparsers)
     _add_ablation(subparsers)
     _add_energy(subparsers)
     _add_fig1(subparsers)

@@ -84,6 +84,14 @@ from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Uni
 from repro.dram.bank import BankSnapshot
 from repro.dram.commands import ScheduledCommand
 from repro.dram.engine import OP_READ, OP_WRITE, SchedulingEngine, as_workload
+from repro.dram.policy import (
+    POLICY_BANK_PARTITION,
+    POLICY_CLOSED_PAGE,
+    POLICY_FRFCFS_CAP,
+    POLICY_NAMES,
+    POLICY_OPEN_PAGE,
+    check_discipline,
+)
 from repro.dram.presets import DramConfig
 from repro.dram.stats import PhaseStats
 
@@ -111,6 +119,11 @@ __all__ = [
     "ENGINE_NAMES",
     "OP_READ",
     "OP_WRITE",
+    "POLICY_BANK_PARTITION",
+    "POLICY_CLOSED_PAGE",
+    "POLICY_FRFCFS_CAP",
+    "POLICY_NAMES",
+    "POLICY_OPEN_PAGE",
     "ControllerConfig",
     "MemoryController",
     "PhaseResult",
@@ -135,18 +148,30 @@ class ControllerConfig:
             than the retention period — the paper's >99 % experiment).
         record_commands: keep the full scheduled-command list on the
             result for inspection; costs memory, used by tests.
+        discipline: page-management discipline (one of
+            :data:`~repro.dram.policy.POLICY_NAMES`); the default
+            :data:`~repro.dram.policy.POLICY_OPEN_PAGE` is the engine's
+            original behavior, bit for bit.
+        cap: row-hit streak cap under
+            :data:`~repro.dram.policy.POLICY_FRFCFS_CAP` (ignored by
+            the other disciplines); ``cap=1`` equals closed-page.
     """
 
     queue_depth: int = 64
     per_bank_depth: int = 16
     refresh_enabled: bool = True
     record_commands: bool = False
+    discipline: str = POLICY_OPEN_PAGE
+    cap: int = 4
 
     def __post_init__(self) -> None:
         if self.queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
         if self.per_bank_depth < 1:
             raise ValueError(f"per_bank_depth must be >= 1, got {self.per_bank_depth}")
+        check_discipline(self.discipline)
+        if self.cap < 1:
+            raise ValueError(f"cap must be >= 1, got {self.cap}")
 
 
 @dataclass

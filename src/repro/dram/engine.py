@@ -55,6 +55,12 @@ from numpy.typing import NDArray
 
 from repro.dram.bank import BankSnapshot
 from repro.dram.commands import CAS_COMMANDS, CommandType, ScheduledCommand
+from repro.dram.policy import (
+    POLICY_BANK_PARTITION,
+    POLICY_CLOSED_PAGE,
+    POLICY_FRFCFS_CAP,
+    partition_banks,
+)
 from repro.dram.presets import REFRESH_ALL_BANK, DramConfig
 from repro.dram.refresh import RefreshScheduler
 from repro.dram.stats import EnergyTally, PhaseStats
@@ -226,6 +232,65 @@ def trace_requests(
                command.row, command.column)
 
 
+class _PartitionedSource(WorkloadSource):
+    """Static bank partitioning as an intake transformation.
+
+    Under :data:`~repro.dram.policy.POLICY_BANK_PARTITION` every
+    request's bank index is remapped into the partition its stream
+    class owns (writes: lower half, reads: upper half; see
+    :func:`~repro.dram.policy.partition_bank`) *before* the scheduler
+    sees it — scheduling within a partition is then plain open-page
+    FR-FCFS on the remapped stream, which is what makes the
+    discipline's scalar reference trivial (the frozen open-page oracle
+    on the remapped stream).
+
+    Original bank indices are validated here, with the engine's exact
+    error message, because the modulo fold would silently wrap
+    out-of-range banks into valid partition slots.
+    """
+
+    def __init__(self, inner: WorkloadSource, n_banks: int,
+                 is_read: bool) -> None:
+        self._inner = inner
+        self._n_banks = n_banks
+        self._is_read = is_read
+        self.mixed = inner.mixed
+
+    def batches(self) -> Iterator[Batch]:
+        """Yield the inner batches with banks folded into partitions."""
+        n_banks = self._n_banks
+        half = n_banks // 2
+        offset = half if self._is_read else 0
+        count = 0
+        for banks_col, rows_col, cols_col, dirs_col in self._inner.batches():
+            banks = np.asarray(banks_col)
+            if len(banks):
+                lo = int(banks.min())
+                hi = int(banks.max())
+                if lo < 0 or hi >= n_banks:
+                    self._reject(banks, rows_col, cols_col, count)
+            if dirs_col is None:
+                remapped = banks % half + offset
+            else:
+                reads = np.asarray(dirs_col, dtype=bool)
+                remapped = banks % half + np.where(reads, half, 0)
+            yield remapped, rows_col, cols_col, dirs_col
+            count += len(banks)
+
+    def _reject(self, banks: NDArray[Any], rows_col: Any, cols_col: Any,
+                count: int) -> None:
+        """Raise the engine's out-of-range error for the first bad bank."""
+        n_banks = self._n_banks
+        rows = _as_list(rows_col)
+        cols = _as_list(cols_col)
+        for k, bank in enumerate(banks.tolist()):
+            if bank < 0 or bank >= n_banks:
+                raise ValueError(
+                    f"request #{count + k} (bank={bank}, row={rows[k]}, "
+                    f"column={cols[k]}): bank out of range [0, {n_banks})"
+                )
+
+
 def as_workload(requests: Any) -> WorkloadSource:
     """Normalize ``run_phase``-style input into a :class:`WorkloadSource`.
 
@@ -333,6 +398,10 @@ class SchedulingEngine:
         """
         if op not in (OP_READ, OP_WRITE):
             raise ValueError(f"op must be {OP_READ!r} or {OP_WRITE!r}, got {op!r}")
+        discipline = self.policy.discipline
+        if discipline == POLICY_BANK_PARTITION:
+            partition_banks(self._banks)  # even bank count required
+            source = _PartitionedSource(source, self._banks, op == OP_READ)
         mixed = source.mixed
 
         config = self.config
@@ -373,6 +442,20 @@ class SchedulingEngine:
         queue_depth = policy.queue_depth
         per_bank_depth = policy.per_bank_depth
         record = policy.record_commands
+        # Auto-close mechanism shared by closed-page (cap 1) and
+        # FR-FCFS-cap (cap k): `streak[b]` counts column accesses since
+        # bank b's last ACT; reaching the cap charges a PRE at the
+        # bank's precharge-ready time and closes the row.  With the
+        # mechanism off (open-page / bank partitioning) no arbiter
+        # decision changes — the bit-identity anchor of the policy zoo.
+        if discipline == POLICY_CLOSED_PAGE:
+            cap_limit = 1
+        elif discipline == POLICY_FRFCFS_CAP:
+            cap_limit = policy.cap
+        else:
+            cap_limit = 0
+        auto_close = cap_limit > 0
+        streak = [0] * self._banks
         commands: List[ScheduledCommand] = []
         refresh = self._refresh
         all_bank_refresh = config.refresh_mode == REFRESH_ALL_BANK
@@ -738,6 +821,8 @@ class SchedulingEngine:
                         act_time[b] = t_act
                         cas_allowed[b] = t_act + trcd
                         pre_allowed[b] = t_act + tras
+                        if auto_close:
+                            streak[b] = 0
                         bstate[b] = 2
                         insort(ready_order, seqs_q[b][head[b]])
 
@@ -863,9 +948,16 @@ class SchedulingEngine:
             h += 1
             head[chosen] = h
             queued -= 1
+            closing = False
+            if auto_close:
+                s = streak[chosen] + 1
+                if s >= cap_limit:
+                    closing = True
+                    s = 0
+                streak[chosen] = s
             if adm[chosen] == h:
                 bstate[chosen] = 0
-            elif rq[h] == open_row[chosen]:
+            elif not closing and rq[h] == open_row[chosen]:
                 hits += 1
                 insort(ready_order, seqs_q[chosen][h])
             else:
@@ -905,6 +997,21 @@ class SchedulingEngine:
                     )
                 )
             n_requests += 1
+            if closing:
+                # Auto-precharge: close the row at its precharge-ready
+                # time (tRAS / tRTP / tWR already folded into
+                # `pre_allowed` above), exactly where an eager row-miss
+                # PRE would land.
+                t_pre = pre_allowed[chosen]
+                if quant:
+                    remainder = t_pre % tck
+                    if remainder:
+                        t_pre += tck - remainder
+                if record:
+                    commands.append(ScheduledCommand(t_pre, CommandType.PRE, bank=chosen))
+                pres += 1
+                open_row[chosen] = None
+                act_allowed[chosen] = t_pre + trp
             # Inline single-slot admission: the pop freed exactly one
             # window slot and the next request is usually already
             # loaded — equivalent to (but cheaper than) intake().

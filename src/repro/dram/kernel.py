@@ -75,7 +75,14 @@ from repro.dram import _kernelc
 from repro.dram.bank import BankSnapshot
 from repro.dram.commands import CommandType, ScheduledCommand
 from repro.dram.engine import (OP_READ, OP_WRITE, EngineResult,
-                               SchedulingEngine, WorkloadSource)
+                               SchedulingEngine, WorkloadSource,
+                               _PartitionedSource)
+from repro.dram.policy import (
+    POLICY_BANK_PARTITION,
+    POLICY_CLOSED_PAGE,
+    POLICY_FRFCFS_CAP,
+    partition_banks,
+)
 from repro.dram.presets import REFRESH_ALL_BANK, DramConfig
 from repro.dram.stats import EnergyTally, PhaseStats
 
@@ -87,6 +94,12 @@ _FAR_FUTURE = 10**18
 
 #: Heap-entry sort key for committing deferred activations in bank order.
 _ENTRY_BANK = itemgetter(1)
+
+#: Disciplines the kernel does not implement natively: the auto-close
+#: mechanism invalidates the kernel's precomputed row-hit table, so
+#: these delegate to the general engine with
+#: :attr:`~repro.dram.stats.PhaseStats.kernel_fallback` set.
+_FALLBACK_DISCIPLINES = frozenset({POLICY_CLOSED_PAGE, POLICY_FRFCFS_CAP})
 
 
 class KernelEngine:
@@ -175,11 +188,26 @@ class KernelEngine:
         :meth:`repro.dram.engine.SchedulingEngine.run`; mixed sources are
         delegated to the shared general engine (the turnaround rule set
         has no fast path), homogeneous sources take the kernel loop.
+
+        Policy dispatch (see :mod:`repro.dram.policy`): open-page runs
+        the kernel loop unchanged; bank partitioning is an intake remap
+        (the kernel's row-hit precompute stays valid on the remapped
+        stream) and also runs natively; closed-page and FR-FCFS-cap
+        delegate to the general engine — bit-identical results, with
+        the fallback visible as ``stats.kernel_fallback``.
         """
         if op not in (OP_READ, OP_WRITE):
             raise ValueError(f"op must be {OP_READ!r} or {OP_WRITE!r}, got {op!r}")
         if source.mixed:
             return self._general.run(source, op)
+        discipline = self.policy.discipline
+        if discipline in _FALLBACK_DISCIPLINES:
+            result = self._general.run(source, op)
+            result.stats.kernel_fallback = True
+            return result
+        if discipline == POLICY_BANK_PARTITION:
+            partition_banks(self._banks)  # even bank count required
+            source = _PartitionedSource(source, self._banks, op == OP_READ)
         if self._native:
             return self._run_native(source, op)
         return self._run_python(source, op)

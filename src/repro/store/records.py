@@ -40,6 +40,7 @@ from typing import Any, Dict, List, Optional, cast
 from repro.channel.codeword import CodewordConfig
 from repro.channel.gilbert_elliott import GilbertElliottParams
 from repro.dram.controller import ControllerConfig
+from repro.dram.policy import POLICY_FRFCFS_CAP, POLICY_OPEN_PAGE
 from repro.dram.energy import EnergyReport
 from repro.dram.simulator import InterleaverSimResult
 from repro.dram.stats import EnergyTally, PhaseStats
@@ -123,15 +124,30 @@ def derive_key(kind: str, config: JSONDict) -> str:
 
 
 def policy_config(policy: Optional[ControllerConfig]) -> Optional[JSONDict]:
-    """Canonical description of a controller policy (``None`` passes through)."""
+    """Canonical description of a controller policy (``None`` passes through).
+
+    The scheduling discipline folds in **omit-when-default** style: the
+    ``discipline`` key appears only for a non-default discipline, and
+    the ``cap`` key only under :data:`~repro.dram.policy
+    .POLICY_FRFCFS_CAP` (the one discipline that reads it).  Open-page
+    policies therefore serialize to the exact pre-policy-zoo dict, so
+    every content address derived before the discipline field existed
+    stays byte-identical and existing caches stay warm — pinned by
+    ``tests/store/test_policy_store_keys.py``.
+    """
     if policy is None:
         return None
-    return {
+    config: JSONDict = {
         "queue_depth": policy.queue_depth,
         "per_bank_depth": policy.per_bank_depth,
         "refresh_enabled": policy.refresh_enabled,
         "record_commands": policy.record_commands,
     }
+    if policy.discipline != POLICY_OPEN_PAGE:
+        config["discipline"] = policy.discipline
+        if policy.discipline == POLICY_FRFCFS_CAP:
+            config["cap"] = policy.cap
+    return config
 
 
 def policy_from_config(data: Optional[JSONDict]) -> Optional[ControllerConfig]:
@@ -143,6 +159,8 @@ def policy_from_config(data: Optional[JSONDict]) -> Optional[ControllerConfig]:
         per_bank_depth=int(data["per_bank_depth"]),
         refresh_enabled=bool(data["refresh_enabled"]),
         record_commands=bool(data["record_commands"]),
+        discipline=str(data.get("discipline", POLICY_OPEN_PAGE)),
+        cap=int(data.get("cap", 4)),
     )
 
 

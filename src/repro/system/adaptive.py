@@ -46,7 +46,7 @@ results round-trip bit-identically through the content-addressed store
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, cast
 
 import numpy as np
@@ -1194,6 +1194,122 @@ def contact_pass_segments(
                 label=f"el={elevation:g}",
             )
         )
+    return tuple(segments)
+
+
+#: Default cloud-attenuation trace, in dB: clear sky, a cloud moving
+#: through the beam, clear sky again.
+WEATHER_ATTENUATIONS_DB = (0.0, 1.0, 2.0, 4.0, 6.0, 4.0, 2.0, 1.0, 0.0)
+
+
+def weather_segments(
+    attenuations_db: Sequence[float] = WEATHER_ATTENUATIONS_DB,
+    frames_per_segment: int = 40,
+    clear_fade_symbols: float = 60.0,
+    clear_fade_fraction: float = 0.002,
+    p_bad: float = 0.7,
+    p_good: float = 0.0,
+) -> Tuple[ScenarioSegment, ...]:
+    """Piecewise Gilbert–Elliott trajectory of a cloud-attenuation trace.
+
+    Clouds attenuate the optical beam; lower received power drives the
+    receiver deeper into its fade regime, so each attenuation step
+    scales the clear-sky fade statistics by the linear power factor
+    ``10^(A/10)`` — fades lengthen *and* cover a larger time fraction,
+    monotonically in the attenuation (the property pinned in
+    ``tests/system/test_scenario_builders.py``).  Like the contact-pass
+    model this is deliberately simple, but it has the shape that
+    matters: a smooth degradation ramp instead of the pass's
+    elevation-symmetric bathtub.
+
+    Args:
+        attenuations_db: cloud attenuation per step, in dB (each >= 0;
+            0 dB = the clear-sky statistics unchanged).
+        frames_per_segment: frames transmitted per step.
+        clear_fade_symbols: mean fade duration at 0 dB (> 1).
+        clear_fade_fraction: fade time fraction at 0 dB (in (0, 0.5]);
+            attenuated fractions are clipped at 0.5.
+        p_bad: symbol error probability inside fades.
+        p_good: symbol error probability outside fades.
+    """
+    if not attenuations_db:
+        raise ValueError("attenuations_db must be non-empty")
+    if frames_per_segment < 1:
+        raise ValueError(
+            f"frames_per_segment must be >= 1, got {frames_per_segment}")
+    if clear_fade_symbols <= 1.0:
+        raise ValueError("clear_fade_symbols must exceed one symbol, "
+                         f"got {clear_fade_symbols}")
+    if not 0.0 < clear_fade_fraction <= 0.5:
+        raise ValueError("clear_fade_fraction must be in (0, 0.5], "
+                         f"got {clear_fade_fraction}")
+    segments = []
+    for attenuation_db in attenuations_db:
+        if attenuation_db < 0.0:
+            raise ValueError(
+                f"attenuations must be >= 0 dB, got {attenuation_db}")
+        factor = 10.0 ** (attenuation_db / 10.0)
+        segments.append(
+            ScenarioSegment(
+                channel=coherence_params(
+                    clear_fade_symbols * factor,
+                    min(0.5, clear_fade_fraction * factor),
+                    p_bad=p_bad,
+                    p_good=p_good,
+                ),
+                frames=frames_per_segment,
+                label=f"att={attenuation_db:g}dB",
+            )
+        )
+    return tuple(segments)
+
+
+def multi_pass_segments(
+    passes: int = 3,
+    elevations_deg: Sequence[float] = CONTACT_PASS_ELEVATIONS_DEG,
+    frames_per_segment: int = 40,
+    zenith_fade_symbols: float = 60.0,
+    zenith_fade_fraction: float = 0.002,
+    p_bad: float = 0.7,
+    p_good: float = 0.0,
+) -> Tuple[ScenarioSegment, ...]:
+    """A multi-pass contact window: several elevation passes in a row.
+
+    A ground station sees a LEO satellite several times per day; each
+    sighting is one elevation pass, separated by gaps below the
+    horizon.  Nothing is transmitted during a gap, so a gap contributes
+    no segment — the trajectory is exactly the per-pass
+    :func:`contact_pass_segments` repeated ``passes`` times with each
+    segment relabeled ``p<k>:el=...``.  That makes the builder's
+    correctness argument a concatenation identity (pinned in
+    ``tests/system/test_scenario_builders.py``): evaluating the
+    multi-pass trajectory batch-wise equals evaluating each pass's
+    scalar reference in sequence.
+
+    Args:
+        passes: number of contact passes in the window (>= 1).
+        elevations_deg: elevation steps of each pass, in degrees.
+        frames_per_segment: frames transmitted per step.
+        zenith_fade_symbols: mean fade duration at 90° elevation (> 1).
+        zenith_fade_fraction: fade time fraction at 90° elevation.
+        p_bad: symbol error probability inside fades.
+        p_good: symbol error probability outside fades.
+    """
+    if passes < 1:
+        raise ValueError(f"passes must be >= 1, got {passes}")
+    single = contact_pass_segments(
+        elevations_deg=elevations_deg,
+        frames_per_segment=frames_per_segment,
+        zenith_fade_symbols=zenith_fade_symbols,
+        zenith_fade_fraction=zenith_fade_fraction,
+        p_bad=p_bad,
+        p_good=p_good,
+    )
+    segments = []
+    for index in range(1, passes + 1):
+        for segment in single:
+            segments.append(
+                replace(segment, label=f"p{index}:{segment.label}"))
     return tuple(segments)
 
 

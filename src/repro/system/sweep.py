@@ -14,7 +14,7 @@ serial and produces identical results.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.channel.codeword import CodewordConfig
@@ -23,6 +23,7 @@ from repro.dram.controller import (
     ENGINE_GENERAL,
     OP_READ,
     OP_WRITE,
+    POLICY_NAMES,
     ControllerConfig,
 )
 from repro.dram.energy import (
@@ -592,6 +593,118 @@ def format_e2e_table(rows: Sequence[E2ERow]) -> str:
         )
     lines.append("(one joint run per cell: channel FER + DRAM phase "
                  "utilization/latency/energy)")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PolicyRow:
+    """One (configuration, discipline) cell of the policy-axis table.
+
+    Attributes:
+        config_name: DRAM configuration.
+        discipline: scheduling discipline the cell ran under (one of
+            :data:`~repro.dram.policy.POLICY_NAMES`).
+        write_utilization: write-phase data-bus utilization.
+        read_utilization: read-phase data-bus utilization.
+    """
+
+    config_name: str
+    discipline: str
+    write_utilization: float
+    read_utilization: float
+
+    @property
+    def min_utilization(self) -> float:
+        """The throughput-limiting utilization of the cell."""
+        return min(self.write_utilization, self.read_utilization)
+
+
+def run_policy_table(
+    n: int = 256,
+    config_names: Sequence[str] = TABLE1_CONFIG_NAMES,
+    disciplines: Sequence[str] = POLICY_NAMES,
+    mapping: str = "optimized",
+    policy: Optional[ControllerConfig] = None,
+    jobs: Optional[int] = None,
+    store: Optional["ResultStore"] = None,
+    engine: str = ENGINE_GENERAL,
+) -> List[PolicyRow]:
+    """The scheduling-policy axis of Table I.
+
+    Runs every requested configuration under every requested
+    discipline (same mapping, both phases) so the disciplines'
+    throughput cost is directly comparable per device: open-page is the
+    paper's operating point, closed-page bounds the row-locality
+    benefit the interleaver mappings were designed to create, and
+    FR-FCFS-cap / bank partitioning sit between.
+
+    Args:
+        n: triangular interleaver dimension.
+        config_names: subset of Table I configurations.
+        disciplines: subset of
+            :data:`~repro.dram.policy.POLICY_NAMES` (default: all
+            four).
+        mapping: the Table I mapping every cell uses (the policy axis
+            varies the scheduler, not the layout).
+        policy: base controller policy the per-cell discipline is
+            grafted onto (``None`` = defaults; its ``cap`` applies to
+            the FR-FCFS-cap cells).
+        jobs: worker processes (``None``/``1`` serial, ``0`` = all cores).
+        store: optional shared result store — the open-page cells key
+            identically to plain Table I phases at the same ``n``, so a
+            prior ``table1`` run pre-warms this sweep's default column.
+        engine: scheduling-engine hook (disciplines the kernel does not
+            implement delegate to the general engine; results are
+            identical either way).
+
+    Raises:
+        ValueError: on an unknown discipline name (via
+            :class:`~repro.dram.controller.ControllerConfig`).
+    """
+    base = policy or ControllerConfig()
+    tasks = [
+        PhaseTask(config_name=config_name, mapping=mapping, op=op, n=n,
+                  policy=replace(base, discipline=discipline), engine=engine)
+        for config_name in config_names
+        for discipline in disciplines
+        for op in (OP_WRITE, OP_READ)
+    ]
+    stats = run_phase_tasks(tasks, jobs=jobs, store=store)
+    rows = []
+    cursor = 0
+    for config_name in config_names:
+        for discipline in disciplines:
+            write, read = stats[cursor], stats[cursor + 1]
+            cursor += 2
+            rows.append(
+                PolicyRow(
+                    config_name=config_name,
+                    discipline=discipline,
+                    write_utilization=write.utilization,
+                    read_utilization=read.utilization,
+                )
+            )
+    return rows
+
+
+def format_policy_table(rows: Sequence[PolicyRow]) -> str:
+    """Render policy rows grouped per configuration.
+
+    One line per (configuration, discipline) cell: both phase
+    utilizations and the throughput-limiting minimum — the figure the
+    disciplines are compared on.
+    """
+    lines = [
+        f"{'DRAM':14s} {'discipline':14s} {'write':>8s} {'read':>8s} "
+        f"{'limit':>8s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.config_name:14s} {row.discipline:14s} "
+            f"{row.write_utilization:8.2%} {row.read_utilization:8.2%} "
+            f"{row.min_utilization:8.2%}"
+        )
+    lines.append("(limit = min(write, read), the interleaver-throughput bound)")
     return "\n".join(lines)
 
 

@@ -1,0 +1,128 @@
+"""The default scheduling discipline never enters the store key space.
+
+``--policy open-page`` (the default) is bit-identical to every schedule
+the repository produced before the policy axis existed, so an open-page
+policy must serialize to the exact pre-policy-zoo config dict — same
+``policy_config`` output, same :func:`~repro.store.records.derive_key`
+— and every store warmed before this PR stays warm after it.
+Non-default disciplines produce genuinely different schedules, so they
+must key differently, and the config round-trip must preserve them.
+"""
+
+from dataclasses import replace
+
+from repro.dram.controller import OP_READ, ControllerConfig
+from repro.dram.policy import (
+    POLICY_BANK_PARTITION,
+    POLICY_CLOSED_PAGE,
+    POLICY_FRFCFS_CAP,
+    POLICY_NAMES,
+    POLICY_OPEN_PAGE,
+)
+from repro.store.records import (
+    KIND_PHASE,
+    derive_key,
+    phase_task_config,
+    policy_config,
+    policy_from_config,
+)
+from repro.system.parallel import PhaseTask
+
+#: The exact policy dict the store serialized before the policy axis.
+LEGACY_CONFIG = {
+    "queue_depth": 64,
+    "per_bank_depth": 16,
+    "refresh_enabled": True,
+    "record_commands": False,
+}
+
+#: The key an open-page default-policy Table I cell hashed to before
+#: the ``discipline`` field existed — the literal digest produced by
+#: the pre-policy-zoo ``records.py``, frozen so any future drift of
+#: the canonical form (not just of the policy fold) is caught.
+LEGACY_PHASE_KEY = "988617d9832278f8bf22fa9e8f33e6fa"
+
+
+def test_legacy_literal_dict_still_hashes_to_frozen_key():
+    assert derive_key(KIND_PHASE, {
+        "config_name": "DDR4-3200",
+        "mapping": "optimized",
+        "op": OP_READ,
+        "n": 64,
+        "policy": LEGACY_CONFIG,
+        "use_arrays": None,
+    }) == LEGACY_PHASE_KEY
+
+
+def _phase_task(policy):
+    return PhaseTask(config_name="DDR4-3200", mapping="optimized",
+                     op=OP_READ, n=64, policy=policy)
+
+
+class TestDefaultFoldsToLegacy:
+    def test_open_page_serializes_to_legacy_dict(self):
+        assert policy_config(ControllerConfig()) == LEGACY_CONFIG
+
+    def test_explicit_open_page_serializes_to_legacy_dict(self):
+        explicit = ControllerConfig(discipline=POLICY_OPEN_PAGE)
+        assert policy_config(explicit) == LEGACY_CONFIG
+
+    def test_open_page_cap_never_leaks_into_key(self):
+        """``cap`` is dead state under open-page; it must not key."""
+        assert policy_config(ControllerConfig(cap=99)) == LEGACY_CONFIG
+
+    def test_phase_key_unchanged_since_pre_policy_commit(self):
+        task = _phase_task(ControllerConfig())
+        assert derive_key(KIND_PHASE, phase_task_config(task)) \
+            == LEGACY_PHASE_KEY
+
+    def test_none_policy_passes_through(self):
+        assert policy_config(None) is None
+        assert policy_from_config(None) is None
+
+
+class TestNonDefaultDisciplinesKeyDistinctly:
+    def test_each_discipline_keys_distinctly(self):
+        keys = set()
+        for discipline in POLICY_NAMES:
+            task = _phase_task(ControllerConfig(discipline=discipline))
+            keys.add(derive_key(KIND_PHASE, phase_task_config(task)))
+        assert len(keys) == len(POLICY_NAMES)
+
+    def test_cap_keys_only_under_frfcfs_cap(self):
+        capped = policy_config(
+            ControllerConfig(discipline=POLICY_FRFCFS_CAP, cap=2))
+        assert capped == dict(LEGACY_CONFIG,
+                              discipline=POLICY_FRFCFS_CAP, cap=2)
+        closed = policy_config(
+            ControllerConfig(discipline=POLICY_CLOSED_PAGE, cap=2))
+        assert "cap" not in closed
+
+    def test_distinct_caps_key_distinctly(self):
+        keys = [derive_key(KIND_PHASE, phase_task_config(
+            _phase_task(ControllerConfig(discipline=POLICY_FRFCFS_CAP,
+                                         cap=cap))))
+            for cap in (1, 2, 4)]
+        assert len(set(keys)) == 3
+
+
+class TestRoundTrip:
+    def test_every_discipline_round_trips(self):
+        for discipline in POLICY_NAMES:
+            for cap in (1, 3, 4):
+                policy = ControllerConfig(queue_depth=8, per_bank_depth=2,
+                                          refresh_enabled=False,
+                                          discipline=discipline, cap=cap)
+                restored = policy_from_config(policy_config(policy))
+                assert restored.discipline == discipline
+                assert restored.queue_depth == policy.queue_depth
+                assert restored.refresh_enabled is False
+                if discipline == POLICY_FRFCFS_CAP:
+                    assert restored == policy
+                else:
+                    # cap is dead state elsewhere and folds to default
+                    assert restored == replace(policy, cap=4)
+
+    def test_bank_partition_round_trips_discipline(self):
+        policy = ControllerConfig(discipline=POLICY_BANK_PARTITION)
+        assert policy_from_config(policy_config(policy)) == policy
